@@ -1,0 +1,99 @@
+// §IV ablation: hierarchical wake-up triggers vs. per-core wake-up writes.
+// TeraPool adds CSRs that wake a set of groups (one write) or a set of tiles
+// within a group (one write per group); without them the last core of a
+// partial barrier must wake every sleeper individually.
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "sim/barrier.h"
+
+namespace {
+
+using namespace pp;
+
+// Full-cluster phased workload on the MemPool-runtime-style log barrier
+// (hierarchical arrival through tile/group/root counters).
+sim::Kernel_report run_tree(const arch::Cluster_config& cfg, uint32_t phases) {
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+  sim::Tree_barrier bar = sim::Tree_barrier::create(alloc, cfg);
+
+  struct Body {
+    static sim::Prog prog(sim::Core& c, sim::Tree_barrier* b, uint32_t phases) {
+      for (uint32_t ph = 0; ph < phases; ++ph) {
+        c.alu(20 + c.id % 7);
+        co_await sim::tree_barrier_wait(c, *b);
+      }
+    }
+  };
+  std::vector<sim::Machine::Launch> l;
+  for (arch::core_id c = 0; c < cfg.n_cores(); ++c) {
+    l.push_back({c, Body::prog(m.core(c), &bar, phases)});
+  }
+  return m.run_programs("tree-barrier", std::move(l));
+}
+
+// Phased workload: gangs of `gang` cores meet at their own barrier `phases`
+// times.  Returns the kernel report.
+sim::Kernel_report run(const arch::Cluster_config& cfg, uint32_t gang,
+                       bool hierarchical, uint32_t phases) {
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+  const uint32_t n_gangs = cfg.n_cores() / gang;
+
+  std::vector<sim::Barrier> bars;
+  for (uint32_t g = 0; g < n_gangs; ++g) {
+    std::vector<arch::core_id> cs(gang);
+    std::iota(cs.begin(), cs.end(), g * gang);
+    bars.push_back(hierarchical
+                       ? sim::Barrier::create(alloc, cfg, std::move(cs))
+                       : sim::Barrier::create_flat_wake(alloc, cfg,
+                                                        std::move(cs)));
+  }
+
+  struct Body {
+    static sim::Prog prog(sim::Core& c, sim::Barrier* b, uint32_t phases) {
+      for (uint32_t ph = 0; ph < phases; ++ph) {
+        c.alu(20 + c.id % 7);  // slightly unbalanced work
+        co_await sim::barrier_wait(c, *b);
+      }
+    }
+  };
+  std::vector<sim::Machine::Launch> l;
+  for (arch::core_id c = 0; c < cfg.n_cores(); ++c) {
+    l.push_back({c, Body::prog(m.core(c), &bars[c / gang], phases)});
+  }
+  return m.run_programs("barrier", std::move(l));
+}
+
+}  // namespace
+
+int main() {
+  using common::Table;
+  bench::banner(
+      "Partial-barrier trigger ablation (paper SIV)",
+      "Hierarchical group/tile wake-up CSRs vs. one wake-up write per core.");
+
+  for (const auto& cfg : {arch::Cluster_config::mempool(),
+                          arch::Cluster_config::terapool()}) {
+    Table t({"gang size", "trigger", "cycles", "IPC", "wfi%"});
+    for (uint32_t gang : {cfg.cores_per_tile, cfg.cores_per_tile * 16u,
+                          cfg.n_cores()}) {
+      for (const bool hier : {true, false}) {
+        const auto r = run(cfg, gang, hier, 20);
+        t.add_row({cfg.name + " " + std::to_string(gang),
+                   hier ? "hierarchical CSR" : "per-core writes",
+                   Table::fmt(r.cycles), Table::fmt(r.ipc(), 2),
+                   Table::pct(r.frac(sim::Stall::wfi))});
+      }
+    }
+    // Full-cluster log barrier (hierarchical arrival + broadcast wake).
+    const auto rt = run_tree(cfg, 20);
+    t.add_row({cfg.name + " " + std::to_string(cfg.n_cores()),
+               "log-barrier arrival", Table::fmt(rt.cycles),
+               Table::fmt(rt.ipc(), 2), Table::pct(rt.frac(sim::Stall::wfi))});
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

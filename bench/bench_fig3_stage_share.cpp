@@ -1,0 +1,33 @@
+// Fig. 3: share of the total complex MACs allocated to each PUSCH stage, as
+// a function of the number of UEs transmitting at the same frequency.
+#include "bench/bench_util.h"
+#include "pusch/complexity.h"
+
+int main() {
+  using namespace pp;
+  using common::Table;
+
+  bench::banner(
+      "Fig. 3 - MACs per stage in the PUSCH chain",
+      "Paper: OFDM + BF dominate; the MIMO share grows with the UE count.\n"
+      "Amdahl's law therefore targets FFT, MMM and Cholesky for speedup.");
+
+  Table t({"N_UE", "OFDM%", "BF%", "MIMO%", "CHE%", "NE%", "total MACs"});
+  for (uint32_t nl : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    pusch::Pusch_dims d;
+    d.n_ue = nl;
+    const auto s = pusch::pusch_macs(d);
+    t.add_row({Table::fmt(static_cast<uint64_t>(nl)),
+               Table::pct(s.ofdm / s.total()), Table::pct(s.bf / s.total()),
+               Table::pct(s.mimo / s.total()), Table::pct(s.che / s.total()),
+               Table::pct(s.ne / s.total()), Table::fmt(s.total(), 0)});
+  }
+  t.print();
+
+  // Sanity: the three parallelized kernels carry almost all the work.
+  pusch::Pusch_dims d;
+  const auto s = pusch::pusch_macs(d);
+  std::printf("\nFFT+BF+MIMO share at NL=4: %.1f%% (paper: ~99%%)\n",
+              100.0 * (s.ofdm + s.bf + s.mimo) / s.total());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 4b: measured load-to-use latency from core 0 to banks in its own
+// tile, another tile of its group, and a remote group, plus the conflict
+// penalty when same-tile cores collide on one bank.
+#include "arch/address_map.h"
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace pp;
+
+// Measures the cycle distance between issuing one load and its token ready.
+uint64_t probe_latency(const arch::Cluster_config& cfg, arch::bank_id bank) {
+  sim::Machine m(cfg);
+  static uint64_t lat;
+  auto prog = [](sim::Core& c, arch::addr_t a) -> sim::Prog {
+    const sim::Tok t = co_await c.load(a);
+    lat = t.ready - (c.t - 1);
+  };
+  std::vector<sim::Machine::Launch> l;
+  l.push_back({0, prog(m.core(0), m.map().bank_word(bank, 0))});
+  m.run_programs("probe", std::move(l));
+  return lat;
+}
+
+}  // namespace
+
+int main() {
+  using common::Table;
+  bench::banner("Fig. 4b - L1 access latencies",
+                "Paper: 1 cycle local tile, 3 cycles same group, 5 cycles "
+                "remote group.");
+
+  for (const auto& cfg : {arch::Cluster_config::mempool(),
+                          arch::Cluster_config::terapool()}) {
+    Table t({"cluster", "target", "measured cycles", "paper"});
+    const arch::bank_id local = 0;
+    const arch::bank_id group = cfg.banks_per_tile();  // tile 1, same group
+    const arch::bank_id remote = cfg.n_banks() - 1;    // last group
+    t.add_row({cfg.name, "own tile", Table::fmt(probe_latency(cfg, local)), "1"});
+    t.add_row({cfg.name, "same group", Table::fmt(probe_latency(cfg, group)), "3"});
+    t.add_row({cfg.name, "remote group", Table::fmt(probe_latency(cfg, remote)), "5"});
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

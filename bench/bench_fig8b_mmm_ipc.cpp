@@ -1,0 +1,78 @@
+// Fig. 8b: IPC and stall breakdown of the beamforming MMM kernel, plus the
+// MACs/cycle figures the paper quotes in the text (145/134 on MemPool and
+// 558/487 on TeraPool for the regular/use-case shapes).
+#include "bench/bench_util.h"
+#include "kernels/mmm.h"
+
+namespace {
+
+using namespace pp;
+
+struct Run {
+  sim::Kernel_report rep;
+  double cmacs_per_cycle;
+};
+
+Run run(const arch::Cluster_config& cfg, kernels::Mmm_dims d, bool serial) {
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+  kernels::Mmm mmm(m, alloc, d);
+  mmm.set_a(bench::random_signal(size_t{d.m} * d.k, 1));
+  mmm.set_b(bench::random_signal(size_t{d.k} * d.p, 2));
+  const auto rep = serial ? mmm.run_serial() : mmm.run_parallel();
+  return {rep, static_cast<double>(mmm.cmacs()) / rep.cycles};
+}
+
+std::string shape(const kernels::Mmm_dims& d) {
+  return std::to_string(d.m) + "x" + std::to_string(d.k) + "x" +
+         std::to_string(d.p);
+}
+
+}  // namespace
+
+int main() {
+  using common::Table;
+  bench::banner(
+      "Fig. 8b - MMM IPC and stall breakdown",
+      "Paper: 0.89 IPC on MemPool / 0.88 on TeraPool at 256x128x256; the\n"
+      "irregular 4096x64x32 use-case shape costs a few IPC points; TeraPool\n"
+      "shows more instruction stalls (fewer loop iterations per core).\n"
+      "MemPool runs the 4096-row grid in two 2048-row slices (1 MiB L1).");
+
+  Table t(bench::ipc_header());
+  std::vector<std::pair<std::string, double>> macs;
+  const auto mp = arch::Cluster_config::mempool();
+  const auto tp = arch::Cluster_config::terapool();
+
+  {
+    const auto r = run(mp, {128, 128, 128}, true);
+    t.add_row(bench::ipc_row("serial 128x128x128 (1 core)", r.rep));
+  }
+  for (kernels::Mmm_dims d :
+       {kernels::Mmm_dims{128, 128, 128}, kernels::Mmm_dims{256, 128, 256}}) {
+    for (const auto& cfg : {mp, tp}) {
+      const auto r = run(cfg, d, false);
+      t.add_row(bench::ipc_row(cfg.name + " " + shape(d), r.rep));
+      macs.emplace_back(cfg.name + " " + shape(d), r.cmacs_per_cycle);
+    }
+  }
+  // Use-case shape: slice rows on MemPool (L1 capacity), full on TeraPool.
+  {
+    const auto r = run(mp, {2048, 64, 32}, false);
+    t.add_row(bench::ipc_row("mempool 2x(2048x64x32)", r.rep));
+    macs.emplace_back("mempool 4096x64x32 (2 slices)", r.cmacs_per_cycle);
+  }
+  {
+    const auto r = run(tp, {4096, 64, 32}, false);
+    t.add_row(bench::ipc_row("terapool 4096x64x32", r.rep));
+    macs.emplace_back("terapool 4096x64x32", r.cmacs_per_cycle);
+  }
+  t.print();
+
+  std::printf("\ncomplex MACs per cycle (paper counts SIMD MAC ops; see "
+              "EXPERIMENTS.md):\n");
+  for (const auto& [name, v] : macs) {
+    std::printf("  %-32s %7.1f cMACs/cycle\n", name.c_str(), v);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 9c: the full PUSCH use case on TeraPool (and MemPool): cycles per
+// kernel with per-slot repetition counts, percentage breakdown, the total
+// execution time at 1 GHz, and the overall speedup vs. one core.
+//
+// Paper (TeraPool): ~60% FFT / ~30% MMM / ~10% Cholesky with per-symbol
+// Cholesky scheduling (speedup 848), improving to 62/31/7 and speedup 871
+// when 4 data symbols of decompositions are batched; total 785 kcycles =
+// 0.785 ms at 1 GHz vs. the 0.5 ms slot budget.
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "pusch/chain_sim.h"
+
+namespace {
+
+using namespace pp;
+using common::Table;
+
+void run(const arch::Cluster_config& cluster, bool batch, bool ext) {
+  pusch::Chain_config cfg;
+  cfg.cluster = cluster;
+  cfg.batch_cholesky = batch;
+  cfg.include_estimation = ext;
+  const auto res = pusch::run_use_case(cfg);
+
+  std::printf("--- %s, cholesky %s ---\n", cluster.name.c_str(),
+              batch ? "batched over data symbols" : "per data symbol");
+  Table t({"stage", "cycles/instance", "instances", "total cycles", "share",
+           "IPC"});
+  for (size_t i = 0; i < res.stages.size(); ++i) {
+    const auto& st = res.stages[i];
+    const bool core3 = i < 3;
+    t.add_row({st.name, Table::fmt(st.rep.cycles),
+               Table::fmt(static_cast<uint64_t>(st.times)),
+               Table::fmt(st.total_cycles()),
+               core3 ? Table::pct(static_cast<double>(st.total_cycles()) /
+                                  res.parallel_cycles)
+                     : std::string("(extra)"),
+               Table::fmt(st.rep.ipc(), 2)});
+  }
+  t.print();
+  std::printf(
+      "total %lu cycles = %.3f ms @ 1 GHz | serial %lu cycles | speedup %.0f\n\n",
+      static_cast<unsigned long>(res.parallel_cycles), res.ms_at_1ghz(),
+      static_cast<unsigned long>(res.serial_cycles), res.speedup());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  bench::banner("Fig. 9c - PUSCH use-case roll-up",
+                "64x 4096-pt FFT + 4096x64x32 MMM per symbol (x14), 4096 4x4 "
+                "Cholesky per data symbol (x12).\nPaper totals on TeraPool: "
+                "785 kcycles, 0.785 ms @ 1 GHz, speedup 848 -> 871 with "
+                "batched Cholesky.");
+
+  const bool ext = cli.has("--ext");
+  run(arch::Cluster_config::terapool(), false, ext);
+  run(arch::Cluster_config::terapool(), true, ext);
+  if (cli.get("--arch", "both") == "both") {
+    run(arch::Cluster_config::mempool(), true, ext);
+  }
+  return 0;
+}

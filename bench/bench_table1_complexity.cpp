@@ -1,0 +1,35 @@
+// Table I: PUSCH kernels and computational complexity (complex MACs/slot),
+// evaluated for the paper's use case.
+#include "bench/bench_util.h"
+#include "pusch/complexity.h"
+
+int main() {
+  using namespace pp;
+  using common::Table;
+
+  bench::banner("Table I - PUSCH kernels and computational complexity",
+                "Complex MACs per slot for the use case: 100 MHz / 30 kHz "
+                "(4096-pt grid), 14 symbols (2 pilot), 64 antennas, 32 beams.");
+
+  Table t({"PUSCH stage", "key kernel", "complex MACs formula", "NL=4 MACs/slot"});
+  for (uint32_t nl : {1u, 2u, 4u, 8u, 16u}) {
+    pusch::Pusch_dims d;
+    d.n_ue = nl;
+    const auto s = pusch::pusch_macs(d);
+    if (nl == 4) {
+      t.add_row({"OFDM dem.", "fast Fourier transform",
+                 "Nsymb*NR*NSC*log2(NSC)", Table::fmt(s.ofdm, 0)});
+      t.add_row({"BF", "matrix-matrix multiplication", "Nsymb*NSC*NR*NB",
+                 Table::fmt(s.bf, 0)});
+      t.add_row({"MIMO", "Cholesky dec. + solves",
+                 "Ndata*NSC*(NL^3/3 + 2NL^2)", Table::fmt(s.mimo, 0)});
+      t.add_row({"CHE", "element-wise division", "Npilot*NSC*NB*NL",
+                 Table::fmt(s.che, 0)});
+      t.add_row({"NE", "autocorrelation", "Npilot*NSC*2*NB*NL",
+                 Table::fmt(s.ne, 0)});
+      t.add_row({"total", "", "", Table::fmt(s.total(), 0)});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#ifndef PUSCHPOOL_BENCH_BENCH_UTIL_H
+#define PUSCHPOOL_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/reference.h"
+#include "common/complex16.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/stats.h"
+
+namespace pp::bench {
+
+inline std::vector<common::cq15> random_signal(size_t n, uint64_t seed,
+                                               double amp = 0.2) {
+  common::Rng rng(seed);
+  std::vector<common::cq15> x(n);
+  for (auto& v : x) v = common::to_cq15(rng.cnormal() * amp);
+  return x;
+}
+
+inline std::vector<common::cq15> random_spd(uint32_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<ref::cd> a(size_t{n} * 2 * n);
+  for (auto& v : a) v = rng.cnormal() * 0.1;
+  auto g = ref::gram(a, 2 * n, n);
+  for (uint32_t i = 0; i < n; ++i) g[i * n + i] += 0.03;
+  std::vector<common::cq15> q(g.size());
+  for (size_t i = 0; i < g.size(); ++i) q[i] = common::to_cq15(g[i]);
+  return q;
+}
+
+// Standard IPC/stall breakdown columns (paper Fig. 8).
+inline std::vector<std::string> ipc_header() {
+  return {"configuration", "cores", "cycles",  "IPC",  "instr%",
+          "raw%",          "lsu%",  "instr$%", "ext%", "wfi%"};
+}
+
+inline std::vector<std::string> ipc_row(const std::string& name,
+                                        const sim::Kernel_report& r) {
+  using common::Table;
+  using sim::Stall;
+  return {name,
+          Table::fmt(static_cast<uint64_t>(r.n_cores)),
+          Table::fmt(r.cycles),
+          Table::fmt(r.ipc(), 2),
+          Table::pct(r.frac_instr()),
+          Table::pct(r.frac(Stall::raw)),
+          Table::pct(r.frac(Stall::lsu)),
+          Table::pct(r.frac(Stall::icache)),
+          Table::pct(r.frac(Stall::extunit)),
+          Table::pct(r.frac(Stall::wfi))};
+}
+
+inline void banner(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n%s\n\n", title, paper_note);
+}
+
+}  // namespace pp::bench
+
+#endif  // PUSCHPOOL_BENCH_BENCH_UTIL_H

@@ -1,0 +1,77 @@
+// Host wall-clock microbenchmarks (google-benchmark) of the golden models
+// and the Q15 arithmetic layer.  These are not paper figures; they document
+// the cost of the verification infrastructure itself.
+#include <benchmark/benchmark.h>
+
+#include "baseline/reference.h"
+#include "common/complex16.h"
+#include "common/rng.h"
+#include "phy/qam.h"
+
+namespace {
+
+using namespace pp;
+
+std::vector<ref::cd> random_vec(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<ref::cd> v(n);
+  for (auto& x : v) x = rng.cnormal();
+  return v;
+}
+
+void BM_RefFft(benchmark::State& state) {
+  const auto x = random_vec(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::fft(x));
+  }
+}
+BENCHMARK(BM_RefFft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RefMatmul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = random_vec(n * n, 2);
+  const auto b = random_vec(n * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::matmul(a, b, n, n, n));
+  }
+}
+BENCHMARK(BM_RefMatmul)->Arg(32)->Arg(64);
+
+void BM_RefCholesky(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = random_vec(2 * n * n, 4);
+  auto g = ref::gram(a, 2 * n, n);
+  for (size_t i = 0; i < n; ++i) g[i * n + i] += 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::cholesky(g, n));
+  }
+}
+BENCHMARK(BM_RefCholesky)->Arg(4)->Arg(32);
+
+void BM_Q15ComplexMac(benchmark::State& state) {
+  common::Rng rng(5);
+  std::vector<common::cq15> a(1024), b(1024);
+  for (auto& v : a) v = common::to_cq15(rng.cnormal() * 0.1);
+  for (auto& v : b) v = common::to_cq15(rng.cnormal() * 0.1);
+  for (auto _ : state) {
+    common::cacc acc;
+    for (size_t i = 0; i < a.size(); ++i) acc.mac(a[i], b[i]);
+    benchmark::DoNotOptimize(acc.round());
+  }
+}
+BENCHMARK(BM_Q15ComplexMac);
+
+void BM_QamModDemod(benchmark::State& state) {
+  common::Rng rng(6);
+  std::vector<uint8_t> bits(6 * 4096);
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+  for (auto _ : state) {
+    const auto s = phy::qam_modulate(phy::Qam::qam64, bits);
+    benchmark::DoNotOptimize(phy::qam_demodulate(phy::Qam::qam64, s));
+  }
+}
+BENCHMARK(BM_QamModDemod);
+
+}  // namespace
+
+BENCHMARK_MAIN();

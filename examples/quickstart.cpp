@@ -1,0 +1,69 @@
+// Quickstart: simulate the paper's parallel FFT kernel on MemPool.
+//
+// Builds a 256-core MemPool machine, runs sixteen 256-point FFTs in
+// parallel (one gang of 16 cores each), checks the result against the
+// reference DFT, and prints the cycle/IPC report plus the speedup over a
+// single-core run of the same work.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/fft.h"
+
+int main() {
+  using namespace pp;
+
+  const auto cfg = arch::Cluster_config::mempool();
+  std::printf("cluster: %s (%u cores, %u groups x %u tiles x %u cores, "
+              "%u banks)\n",
+              cfg.name.c_str(), cfg.n_cores(), cfg.n_groups,
+              cfg.tiles_per_group, cfg.cores_per_tile, cfg.n_banks());
+
+  // One machine hosts both the parallel batch and the serial baseline.
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+
+  const uint32_t n = 256;
+  const uint32_t n_ffts = 16;
+  kernels::Fft_parallel fft(m, alloc, n, n_ffts);
+  kernels::Fft_serial serial(m, alloc, n, 1);
+
+  // Random Q1.15 input signals.
+  common::Rng rng(1);
+  std::vector<std::vector<common::cq15>> inputs(n_ffts);
+  for (uint32_t i = 0; i < n_ffts; ++i) {
+    inputs[i].resize(n);
+    for (auto& v : inputs[i]) v = common::to_cq15(rng.cnormal() * 0.2);
+    fft.set_input(i, 0, inputs[i]);
+  }
+  serial.set_input(0, inputs[0]);
+
+  const auto par = fft.run();
+  const auto ser = serial.run();
+
+  // Verify one instance against the double-precision DFT.
+  std::vector<ref::cd> x(n);
+  for (uint32_t i = 0; i < n; ++i) x[i] = common::to_cd(inputs[0][i]);
+  const auto want = ref::dft(x);
+  const auto got = fft.output(0, 0);
+  std::vector<ref::cd> got_d(n);
+  for (uint32_t i = 0; i < n; ++i) got_d[i] = common::to_cd(got[i]);
+  std::printf("fixed-point accuracy: %.1f dB SQNR vs reference DFT\n",
+              ref::sqnr_db(want, got_d));
+
+  std::printf("\nparallel: %u FFTs x %u points on %u cores\n", n_ffts, n,
+              par.n_cores);
+  std::printf("  cycles %lu | IPC %.2f | raw %.1f%% lsu %.1f%% wfi %.1f%%\n",
+              static_cast<unsigned long>(par.cycles), par.ipc(),
+              100 * par.frac(sim::Stall::raw), 100 * par.frac(sim::Stall::lsu),
+              100 * par.frac(sim::Stall::wfi));
+  std::printf("serial: 1 FFT x %u points on 1 core -> %lu cycles\n", n,
+              static_cast<unsigned long>(ser.cycles));
+  std::printf("speedup vs one core doing all %u FFTs: %.0fx (limit %u)\n",
+              n_ffts,
+              static_cast<double>(ser.cycles) * n_ffts / par.cycles,
+              par.n_cores);
+  return 0;
+}

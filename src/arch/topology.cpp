@@ -1,0 +1,32 @@
+#include "arch/topology.h"
+
+namespace pp::arch {
+
+Cluster_config Cluster_config::mempool() {
+  Cluster_config c;
+  c.name = "mempool";
+  c.n_groups = 4;
+  c.tiles_per_group = 16;
+  c.cores_per_tile = 4;
+  return c;  // 256 cores, 1024 banks, 1 MiB L1
+}
+
+Cluster_config Cluster_config::terapool() {
+  Cluster_config c;
+  c.name = "terapool";
+  c.n_groups = 8;
+  c.tiles_per_group = 16;
+  c.cores_per_tile = 8;
+  return c;  // 1024 cores, 4096 banks, 4 MiB L1
+}
+
+Cluster_config Cluster_config::minipool() {
+  Cluster_config c;
+  c.name = "minipool";
+  c.n_groups = 2;
+  c.tiles_per_group = 2;
+  c.cores_per_tile = 4;
+  return c;  // 16 cores, 64 banks
+}
+
+}  // namespace pp::arch

@@ -1,0 +1,172 @@
+#include "baseline/reference.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pp::ref {
+
+std::vector<cd> dft(const std::vector<cd>& x) {
+  const size_t n = x.size();
+  std::vector<cd> y(n);
+  for (size_t k = 0; k < n; ++k) {
+    cd acc{0.0, 0.0};
+    for (size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * t % n) /
+                         static_cast<double>(n);
+      acc += x[t] * cd{std::cos(ang), std::sin(ang)};
+    }
+    y[k] = acc / static_cast<double>(n);
+  }
+  return y;
+}
+
+namespace {
+
+void fft_inplace(std::vector<cd>& a, bool inverse) {
+  const size_t n = a.size();
+  PP_CHECK((n & (n - 1)) == 0 && n > 0, "fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cd wl{std::cos(ang), std::sin(ang)};
+    for (size_t i = 0; i < n; i += len) {
+      cd w{1.0, 0.0};
+      for (size_t j = 0; j < len / 2; ++j) {
+        const cd u = a[i + j];
+        const cd v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<cd> fft(const std::vector<cd>& x) {
+  std::vector<cd> a = x;
+  fft_inplace(a, false);
+  for (auto& v : a) v /= static_cast<double>(a.size());
+  return a;
+}
+
+std::vector<cd> ifft(const std::vector<cd>& x) {
+  std::vector<cd> a = x;
+  fft_inplace(a, true);
+  return a;
+}
+
+std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
+                       size_t m, size_t k, size_t p) {
+  PP_CHECK(a.size() == m * k && b.size() == k * p, "matmul shape mismatch");
+  std::vector<cd> c(m * p, cd{0.0, 0.0});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const cd av = a[i * k + kk];
+      for (size_t j = 0; j < p; ++j) {
+        c[i * p + j] += av * b[kk * p + j];
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k) {
+  std::vector<cd> g(k * k, cd{0.0, 0.0});
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      cd acc{0.0, 0.0};
+      for (size_t r = 0; r < m; ++r) {
+        acc += std::conj(a[r * k + i]) * a[r * k + j];
+      }
+      g[i * k + j] = acc;
+    }
+  }
+  return g;
+}
+
+std::vector<cd> cholesky(const std::vector<cd>& g, size_t n) {
+  PP_CHECK(g.size() == n * n, "cholesky shape mismatch");
+  std::vector<cd> l(n * n, cd{0.0, 0.0});
+  for (size_t j = 0; j < n; ++j) {
+    double diag = g[j * n + j].real();
+    for (size_t k = 0; k < j; ++k) diag -= std::norm(l[j * n + k]);
+    PP_CHECK(diag > 0.0, "matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l[j * n + j] = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      cd acc = g[i * n + j];
+      for (size_t k = 0; k < j; ++k) {
+        acc -= l[i * n + k] * std::conj(l[j * n + k]);
+      }
+      l[i * n + j] = acc / ljj;
+    }
+  }
+  return l;
+}
+
+std::vector<cd> forward_solve(const std::vector<cd>& l,
+                              const std::vector<cd>& y, size_t n) {
+  std::vector<cd> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    cd acc = y[i];
+    for (size_t k = 0; k < i; ++k) acc -= l[i * n + k] * z[k];
+    z[i] = acc / l[i * n + i];
+  }
+  return z;
+}
+
+std::vector<cd> backward_solve(const std::vector<cd>& l,
+                               const std::vector<cd>& z, size_t n) {
+  std::vector<cd> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    cd acc = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) {
+      acc -= std::conj(l[k * n + ii]) * x[k];
+    }
+    x[ii] = acc / l[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<cd> lmmse(const std::vector<cd>& h, const std::vector<cd>& y,
+                      size_t m, size_t n, double sigma2) {
+  // G = H^H H + sigma2 I
+  std::vector<cd> g = gram(h, m, n);
+  for (size_t i = 0; i < n; ++i) g[i * n + i] += sigma2;
+  // rhs = H^H y
+  std::vector<cd> rhs(n, cd{0.0, 0.0});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < m; ++r) rhs[i] += std::conj(h[r * n + i]) * y[r];
+  }
+  const std::vector<cd> l = cholesky(g, n);
+  return backward_solve(l, forward_solve(l, rhs, n), n);
+}
+
+double mse(const std::vector<cd>& a, const std::vector<cd>& b) {
+  PP_CHECK(a.size() == b.size(), "mse size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::norm(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double sqnr_db(const std::vector<cd>& want, const std::vector<cd>& got) {
+  double sig = 0.0, err = 0.0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    sig += std::norm(want[i]);
+    err += std::norm(want[i] - got[i]);
+  }
+  if (err == 0.0) return 200.0;
+  return 10.0 * std::log10(sig / err);
+}
+
+}  // namespace pp::ref

@@ -1,0 +1,56 @@
+// Double-precision golden models used to verify the simulated fixed-point
+// kernels and the PHY chain: DFT, matrix multiply, Cholesky decomposition,
+// triangular solves and the LMMSE equalizer.
+#ifndef PUSCHPOOL_BASELINE_REFERENCE_H
+#define PUSCHPOOL_BASELINE_REFERENCE_H
+
+#include <complex>
+#include <vector>
+
+namespace pp::ref {
+
+using cd = std::complex<double>;
+
+// Forward DFT scaled by 1/N (matches the fixed-point kernels' 1/4-per-stage
+// scaling).
+std::vector<cd> dft(const std::vector<cd>& x);
+
+// Fast radix-2 FFT (power-of-two sizes), scaled by 1/N like dft().
+std::vector<cd> fft(const std::vector<cd>& x);
+
+// Inverse of fft(): unscaled accumulation (fft(ifft(x)) == x).
+std::vector<cd> ifft(const std::vector<cd>& x);
+
+// C (m x p) = A (m x k) * B (k x p), row-major.
+std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
+                       size_t m, size_t k, size_t p);
+
+// C = A^H * A (k x k) for A (m x k), row-major.
+std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k);
+
+// Lower-triangular L (row-major, n x n) with L L^H = G.  G must be Hermitian
+// positive definite.
+std::vector<cd> cholesky(const std::vector<cd>& g, size_t n);
+
+// Solve L z = y (forward substitution), L lower-triangular.
+std::vector<cd> forward_solve(const std::vector<cd>& l,
+                              const std::vector<cd>& y, size_t n);
+
+// Solve L^H x = z (backward substitution).
+std::vector<cd> backward_solve(const std::vector<cd>& l,
+                               const std::vector<cd>& z, size_t n);
+
+// LMMSE estimate x = (H^H H + sigma2 I)^-1 H^H y for H (m x n) row-major,
+// computed via Cholesky + two triangular solves (the paper's recipe, eq. 2).
+std::vector<cd> lmmse(const std::vector<cd>& h, const std::vector<cd>& y,
+                      size_t m, size_t n, double sigma2);
+
+// Mean squared error between two complex vectors.
+double mse(const std::vector<cd>& a, const std::vector<cd>& b);
+
+// Signal-to-quantization-noise ratio (dB) of `got` vs reference `want`.
+double sqnr_db(const std::vector<cd>& want, const std::vector<cd>& got);
+
+}  // namespace pp::ref
+
+#endif  // PUSCHPOOL_BASELINE_REFERENCE_H

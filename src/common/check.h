@@ -1,0 +1,21 @@
+// Always-on invariant checks used across puschpool.
+//
+// PP_CHECK(cond, msg): abort with a readable message if cond is false.
+// These guard programming errors (bad sizes, bad topology indices); they are
+// kept in release builds because the simulator's correctness depends on them.
+#ifndef PUSCHPOOL_COMMON_CHECK_H
+#define PUSCHPOOL_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PP_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PP_CHECK failed at %s:%d: %s\n  %s\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // PUSCHPOOL_COMMON_CHECK_H

@@ -1,0 +1,59 @@
+// Tiny command-line flag reader for the example/bench executables.
+// Flags look like: --arch terapool --size 4096 --verbose
+#ifndef PUSCHPOOL_COMMON_CLI_H
+#define PUSCHPOOL_COMMON_CLI_H
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pp::common {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  // Value of "--name value", or fallback if absent.
+  std::string get(const std::string& name, const std::string& fallback) const {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  long get_int(const std::string& name, long fallback) const {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return std::strtol(args_[i + 1].c_str(), nullptr, 10);
+    }
+    return fallback;
+  }
+
+  // True if the bare flag "--name" appears anywhere.
+  bool has(const std::string& name) const {
+    for (const auto& a : args_) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+
+  // First non-flag positional argument, or fallback.
+  std::string positional(const std::string& fallback) const {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) == 0) {
+        ++i;  // skip the flag's value
+        continue;
+      }
+      return args_[i];
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_CLI_H

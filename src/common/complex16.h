@@ -1,0 +1,129 @@
+// Packed complex Q1.15 sample: real in the low half-word, imaginary in the
+// high half-word of one 32-bit word.  This is the memory format of all
+// simulated kernels (one L1 word per complex sample) and mirrors the SIMD
+// (v2s) layout used by the paper's Snitch kernels.
+#ifndef PUSCHPOOL_COMMON_COMPLEX16_H
+#define PUSCHPOOL_COMMON_COMPLEX16_H
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+#include "common/fixed_point.h"
+
+namespace pp::common {
+
+struct cq15 {
+  int16_t re = 0;
+  int16_t im = 0;
+
+  friend constexpr bool operator==(cq15 a, cq15 b) = default;
+};
+
+// --- packing -----------------------------------------------------------
+
+constexpr uint32_t pack_cq15(cq15 v) {
+  return (static_cast<uint32_t>(static_cast<uint16_t>(v.im)) << 16) |
+         static_cast<uint32_t>(static_cast<uint16_t>(v.re));
+}
+
+constexpr cq15 unpack_cq15(uint32_t w) {
+  return cq15{static_cast<int16_t>(static_cast<uint16_t>(w & 0xffffu)),
+              static_cast<int16_t>(static_cast<uint16_t>(w >> 16))};
+}
+
+// --- conversions --------------------------------------------------------
+
+inline cq15 to_cq15(std::complex<double> z) {
+  return cq15{to_q15(z.real()), to_q15(z.imag())};
+}
+
+inline std::complex<double> to_cd(cq15 v) {
+  return {from_q15(v.re), from_q15(v.im)};
+}
+
+// --- arithmetic ---------------------------------------------------------
+
+constexpr cq15 cadd(cq15 a, cq15 b) {
+  return cq15{add_q15(a.re, b.re), add_q15(a.im, b.im)};
+}
+constexpr cq15 csub(cq15 a, cq15 b) {
+  return cq15{sub_q15(a.re, b.re), sub_q15(a.im, b.im)};
+}
+constexpr cq15 cneg(cq15 a) {
+  return cq15{sat16(-static_cast<int32_t>(a.re)), sat16(-static_cast<int32_t>(a.im))};
+}
+constexpr cq15 cconj(cq15 a) {
+  return cq15{a.re, sat16(-static_cast<int32_t>(a.im))};
+}
+// Multiply by +j / -j (free rotations used by the radix-4 butterfly).
+constexpr cq15 cmul_j(cq15 a) {
+  return cq15{sat16(-static_cast<int32_t>(a.im)), a.re};
+}
+constexpr cq15 cmul_mj(cq15 a) {
+  return cq15{a.im, sat16(-static_cast<int32_t>(a.re))};
+}
+
+// Complex multiply with rounding on each component (two dotp-style ops).
+constexpr cq15 cmul(cq15 a, cq15 b) {
+  const int32_t rr = static_cast<int32_t>(a.re) * b.re - static_cast<int32_t>(a.im) * b.im;
+  const int32_t ii = static_cast<int32_t>(a.re) * b.im + static_cast<int32_t>(a.im) * b.re;
+  constexpr int32_t half = 1 << (q15_frac_bits - 1);
+  return cq15{sat16((static_cast<int64_t>(rr) + half) >> q15_frac_bits),
+              sat16((static_cast<int64_t>(ii) + half) >> q15_frac_bits)};
+}
+
+// Divide each component by 2 / by 4 (radix-2/4 stage scaling).
+constexpr cq15 chalf(cq15 a) {
+  return cq15{static_cast<int16_t>(a.re >> 1), static_cast<int16_t>(a.im >> 1)};
+}
+constexpr cq15 cquarter(cq15 a) {
+  return cq15{static_cast<int16_t>(a.re >> 2), static_cast<int16_t>(a.im >> 2)};
+}
+
+// --- wide accumulator ----------------------------------------------------
+//
+// MAC chains keep full 32-bit products in 64-bit accumulators and round once
+// on writeback, like a SIMD dot-product unit with a wide accumulator.
+struct cacc {
+  int64_t re = 0;
+  int64_t im = 0;
+
+  constexpr void mac(cq15 a, cq15 b) {
+    re += static_cast<int64_t>(a.re) * b.re - static_cast<int64_t>(a.im) * b.im;
+    im += static_cast<int64_t>(a.re) * b.im + static_cast<int64_t>(a.im) * b.re;
+  }
+  // acc += a * conj(b)
+  constexpr void mac_conj(cq15 a, cq15 b) {
+    re += static_cast<int64_t>(a.re) * b.re + static_cast<int64_t>(a.im) * b.im;
+    im += static_cast<int64_t>(a.im) * b.re - static_cast<int64_t>(a.re) * b.im;
+  }
+  constexpr void msu(cq15 a, cq15 b) {
+    re -= static_cast<int64_t>(a.re) * b.re - static_cast<int64_t>(a.im) * b.im;
+    im -= static_cast<int64_t>(a.re) * b.im + static_cast<int64_t>(a.im) * b.re;
+  }
+  // acc -= a * conj(b)
+  constexpr void msu_conj(cq15 a, cq15 b) {
+    re -= static_cast<int64_t>(a.re) * b.re + static_cast<int64_t>(a.im) * b.im;
+    im -= static_cast<int64_t>(a.im) * b.re - static_cast<int64_t>(a.re) * b.im;
+  }
+  // acc += v (a Q1.15 value widened to the accumulator's Q-format)
+  constexpr void add_q15(cq15 v) {
+    re += static_cast<int64_t>(v.re) << q15_frac_bits;
+    im += static_cast<int64_t>(v.im) << q15_frac_bits;
+  }
+  // Round the Q2.30 accumulator back to a Q1.15 complex value.
+  constexpr cq15 round() const {
+    constexpr int64_t half = 1ll << (q15_frac_bits - 1);
+    return cq15{sat16((re + half) >> q15_frac_bits), sat16((im + half) >> q15_frac_bits)};
+  }
+};
+
+// Squared magnitude |a|^2 as a Q1.30 value in an int64 (no overflow).
+constexpr int64_t cmag2_raw(cq15 a) {
+  return static_cast<int64_t>(a.re) * a.re + static_cast<int64_t>(a.im) * a.im;
+}
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_COMPLEX16_H

@@ -1,0 +1,93 @@
+// Q1.15 fixed-point scalar arithmetic.
+//
+// The paper's kernels operate on 16-bit fixed-point data so that one complex
+// sample packs into a single 32-bit word (this is what makes the published
+// load/MAC ratios possible: 4 loads per radix-4 butterfly, 8 loads per 4x4
+// MMM window).  This header provides the scalar Q1.15 layer: saturating
+// conversion, rounding multiply, divide and square root, matching the
+// behaviour of PULP-style SIMD dot-product units (full 32-bit products,
+// shift-and-round on writeback).
+#ifndef PUSCHPOOL_COMMON_FIXED_POINT_H
+#define PUSCHPOOL_COMMON_FIXED_POINT_H
+
+#include <cstdint>
+
+namespace pp::common {
+
+// Number of fractional bits in Q1.15.
+inline constexpr int q15_frac_bits = 15;
+inline constexpr int32_t q15_one = 1 << q15_frac_bits;   // +1.0 (saturates)
+inline constexpr int16_t q15_max = 0x7fff;               // largest value
+inline constexpr int16_t q15_min = -0x8000;
+
+// Saturate a wide integer into the int16 range.
+constexpr int16_t sat16(int64_t v) {
+  if (v > q15_max) return q15_max;
+  if (v < q15_min) return q15_min;
+  return static_cast<int16_t>(v);
+}
+
+// Convert a real number in [-1, 1) to Q1.15 with rounding and saturation.
+constexpr int16_t to_q15(double x) {
+  const double scaled = x * static_cast<double>(q15_one);
+  const int64_t r = static_cast<int64_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+  return sat16(r);
+}
+
+// Convert Q1.15 back to a real number.
+constexpr double from_q15(int16_t v) {
+  return static_cast<double>(v) / static_cast<double>(q15_one);
+}
+
+// Rounding Q1.15 multiply: (a*b + 2^14) >> 15, saturated.
+constexpr int16_t mul_q15(int16_t a, int16_t b) {
+  const int32_t p = static_cast<int32_t>(a) * static_cast<int32_t>(b);
+  return sat16((static_cast<int64_t>(p) + (1 << (q15_frac_bits - 1))) >> q15_frac_bits);
+}
+
+// Saturating add / sub.
+constexpr int16_t add_q15(int16_t a, int16_t b) {
+  return sat16(static_cast<int64_t>(a) + b);
+}
+constexpr int16_t sub_q15(int16_t a, int16_t b) {
+  return sat16(static_cast<int64_t>(a) - b);
+}
+
+// Q1.15 division a/b, saturated.  b == 0 saturates toward the sign of a.
+constexpr int16_t div_q15(int16_t a, int16_t b) {
+  if (b == 0) return a >= 0 ? q15_max : q15_min;
+  const int64_t num = (static_cast<int64_t>(a) << q15_frac_bits);
+  // Round to nearest (round half away from zero).
+  const int64_t half = b > 0 ? b / 2 : -static_cast<int64_t>(b) / 2;
+  const int64_t q = (num >= 0 ? num + half : num - half) / b;
+  return sat16(q);
+}
+
+// Integer square root of a 32-bit unsigned value (floor).
+constexpr uint32_t isqrt_u32(uint32_t v) {
+  uint32_t res = 0;
+  uint32_t bit = 1u << 30;
+  while (bit > v) bit >>= 2;
+  while (bit != 0) {
+    if (v >= res + bit) {
+      v -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return res;
+}
+
+// Q1.15 square root of a non-negative Q1.15 value.
+// sqrt(v / 2^15) * 2^15 == isqrt(v * 2^15).
+constexpr int16_t sqrt_q15(int16_t v) {
+  if (v <= 0) return 0;
+  const uint32_t wide = static_cast<uint32_t>(v) << q15_frac_bits;
+  return sat16(static_cast<int64_t>(isqrt_u32(wide)));
+}
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_FIXED_POINT_H

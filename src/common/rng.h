@@ -1,0 +1,68 @@
+// Deterministic PRNG (xoshiro128++) plus the distributions the PHY substrate
+// needs (uniform, standard normal via Box-Muller).  Everything in puschpool
+// that needs randomness takes an explicit seeded Rng so runs are repeatable.
+#ifndef PUSCHPOOL_COMMON_RNG_H
+#define PUSCHPOOL_COMMON_RNG_H
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+namespace pp::common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = static_cast<uint32_t>((z ^ (z >> 31)) >> 16);
+    }
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  uint32_t next_u32() {
+    const uint32_t result = rotl(state_[0] + state_[3], 7) + state_[0];
+    const uint32_t t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return next_u32() * 0x1p-32; }
+
+  // Uniform integer in [0, n).
+  uint32_t uniform_int(uint32_t n) {
+    return static_cast<uint32_t>(uniform() * n);
+  }
+
+  // Standard normal N(0,1) via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    if (u1 < 1e-12) u1 = 1e-12;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Circularly-symmetric complex normal with E[|z|^2] = 1.
+  std::complex<double> cnormal() {
+    return {normal() * M_SQRT1_2, normal() * M_SQRT1_2};
+  }
+
+ private:
+  static uint32_t rotl(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+  uint32_t state_[4] = {};
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_RNG_H

@@ -1,0 +1,37 @@
+// Minimal fixed-width ASCII table printer used by the benchmark harnesses to
+// reproduce the paper's tables and figure series as text.
+#ifndef PUSCHPOOL_COMMON_TABLE_H
+#define PUSCHPOOL_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pp::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column alignment; returns the formatted table.
+  std::string str() const;
+
+  // Convenience: render to stdout.
+  void print() const;
+
+  // Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(uint64_t v);
+  static std::string fmt(int64_t v);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_TABLE_H

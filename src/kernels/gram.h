@@ -1,0 +1,57 @@
+// Gramian + matched-filter kernel for the MIMO stage (paper eq. 2).
+//
+// Per sub-carrier, from the estimated beam-domain channel H (n_b x n_l) and
+// the received beam vector y, computes
+//
+//     G   = H^H H + sigma2 I     (n_l x n_l, Hermitian)
+//     rhs = H^H y                (n_l)
+//
+// which feed the Cholesky decomposition and the triangular solves.  The
+// paper's Table I folds this formation step into the MIMO stage without
+// listing it separately; this kernel makes its cost measurable.
+// Parallelization is embarrassing over sub-carrier blocks; the Hermitian
+// structure halves the MAC count (only the lower triangle is computed, the
+// upper is mirrored on store).
+#ifndef PUSCHPOOL_KERNELS_GRAM_H
+#define PUSCHPOOL_KERNELS_GRAM_H
+
+#include <span>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "common/complex16.h"
+#include "sim/barrier.h"
+#include "sim/machine.h"
+
+namespace pp::kernels {
+
+class Gram_batch {
+ public:
+  Gram_batch(sim::Machine& m, arch::L1_alloc& alloc, uint32_t n_sc,
+             uint32_t n_b, uint32_t n_l, uint32_t n_cores);
+
+  void set_h(std::span<const common::cq15> h);  // [sc][b][l]
+  void set_y(std::span<const common::cq15> y);  // [sc][b]
+  void set_sigma2(int16_t sigma2_q15);
+
+  // Row-major n_l x n_l Gramian of sub-carrier sc (after run()).
+  std::vector<common::cq15> g(uint32_t sc) const;
+  // Matched-filter output of sub-carrier sc.
+  std::vector<common::cq15> rhs(uint32_t sc) const;
+
+  sim::Kernel_report run();
+
+ private:
+  sim::Prog core_prog(sim::Core& c, uint32_t idx);
+
+  sim::Machine& m_;
+  uint32_t n_sc_, n_b_, n_l_, n_cores_;
+  arch::addr_t h_ = 0, y_ = 0, sigma_ = 0;
+  arch::addr_t g_ = 0;    // [sc][i][j]
+  arch::addr_t rhs_ = 0;  // [sc][l]
+  sim::Barrier bar_;
+};
+
+}  // namespace pp::kernels
+
+#endif  // PUSCHPOOL_KERNELS_GRAM_H

@@ -1,0 +1,120 @@
+#include "kernels/mmm.h"
+
+#include "kernels/util.h"
+
+namespace pp::kernels {
+
+using common::cacc;
+using common::cq15;
+using common::pack_cq15;
+using common::unpack_cq15;
+
+Mmm::Mmm(sim::Machine& m, arch::L1_alloc& alloc, Mmm_dims dims,
+         uint32_t window_rows, uint32_t window_cols)
+    : m_(m), alloc_(alloc), d_(dims), wr_(window_rows), wc_(window_cols) {
+  PP_CHECK(wr_ >= 1 && wr_ <= 4 && wc_ >= 1 && wc_ <= 4,
+           "window must be between 1x1 and 4x4");
+  a_ = alloc.alloc(static_cast<uint64_t>(d_.m) * d_.k);
+  b_ = alloc.alloc(static_cast<uint64_t>(d_.k) * d_.p);
+  c_ = alloc.alloc(static_cast<uint64_t>(d_.m) * d_.p);
+}
+
+void Mmm::set_a(std::span<const cq15> a) {
+  PP_CHECK(a.size() == static_cast<size_t>(d_.m) * d_.k, "A shape mismatch");
+  poke_c(m_.mem(), a_, a);
+}
+
+void Mmm::set_b(std::span<const cq15> b) {
+  PP_CHECK(b.size() == static_cast<size_t>(d_.k) * d_.p, "B shape mismatch");
+  poke_c(m_.mem(), b_, b);
+}
+
+std::vector<cq15> Mmm::c() const {
+  return peek_c(m_.mem(), c_, static_cast<size_t>(d_.m) * d_.p);
+}
+
+sim::Prog Mmm::window_task(sim::Core& c, uint32_t i0, uint32_t j0,
+                           uint32_t kk0) {
+  const uint32_t nr = std::min(wr_, d_.m - i0);
+  const uint32_t nc = std::min(wc_, d_.p - j0);
+
+  // Functional accumulators (wide, order-independent) and their ready-times.
+  cacc acc[4][4] = {};
+  uint64_t accdep[4][4] = {};
+
+  c.alu(4);  // window base addresses, accumulator zeroing amortized
+
+  for (uint32_t kk = 0; kk < d_.k; ++kk) {
+    // Staggered start: cores of one tile begin at different k offsets and
+    // round-robin back, so their A/B loads never collide on a bank.
+    const uint32_t k = (kk0 + kk) % d_.k;
+    sim::Tok at[4], bt[4];
+    cq15 av[4], bv[4];
+    for (uint32_t r = 0; r < nr; ++r) {
+      at[r] = co_await c.load(a_ + (i0 + r) * d_.k + k);
+      av[r] = unpack_cq15(at[r].value);
+    }
+    for (uint32_t q = 0; q < nc; ++q) {
+      bt[q] = co_await c.load(b_ + k * d_.p + (j0 + q));
+      bv[q] = unpack_cq15(bt[q].value);
+    }
+    for (uint32_t r = 0; r < nr; ++r) {
+      for (uint32_t q = 0; q < nc; ++q) {
+        acc[r][q].mac(av[r], bv[q]);
+        accdep[r][q] =
+            c.cmac(std::max(at[r].ready, bt[q].ready), accdep[r][q]);
+      }
+    }
+    c.alu(2);  // k increment + wrap + branch
+  }
+
+  c.alu(2);  // store address setup
+  for (uint32_t r = 0; r < nr; ++r) {
+    for (uint32_t q = 0; q < nc; ++q) {
+      co_await c.store(c_ + (i0 + r) * d_.p + (j0 + q),
+                       pack_cq15(acc[r][q].round()), accdep[r][q]);
+    }
+  }
+}
+
+sim::Prog Mmm::core_prog(sim::Core& c, uint32_t index, uint32_t stride) {
+  const uint32_t strips = (d_.m + wr_ - 1) / wr_;
+  const uint32_t windows = (d_.p + wc_ - 1) / wc_;
+  const uint32_t n_tasks = strips * windows;
+  // k-loop stagger by position within the tile (conflict avoidance).
+  const uint32_t kk0 =
+      (wr_ * (c.id % c.cfg->cores_per_tile)) % std::max(d_.k, 1u);
+
+  for (uint32_t t = index; t < n_tasks; t += stride) {
+    const uint32_t i0 = (t / windows) * wr_;
+    const uint32_t j0 = (t % windows) * wc_;
+    c.alu(3);  // task decode
+    co_await window_task(c, i0, j0, kk0);
+  }
+  // Join: the parallel region closes with a barrier (fork-join model).
+  if (stride > 1) co_await sim::barrier_wait(c, bar_);
+}
+
+sim::Kernel_report Mmm::run_serial(arch::core_id core) {
+  std::vector<sim::Machine::Launch> l;
+  l.push_back({core, core_prog(m_.core(core), 0, 1)});
+  return m_.run_programs("mmm_serial", std::move(l));
+}
+
+sim::Kernel_report Mmm::run_parallel(uint32_t n_cores) {
+  if (n_cores == 0) n_cores = m_.config().n_cores();
+  if (bar_cores_ != n_cores) {
+    std::vector<arch::core_id> cs(n_cores);
+    for (uint32_t i = 0; i < n_cores; ++i) cs[i] = i;
+    bar_ = sim::Barrier::create(alloc_, m_.config(), std::move(cs));
+    bar_cores_ = n_cores;
+  }
+  std::vector<sim::Machine::Launch> l;
+  l.reserve(n_cores);
+  for (arch::core_id c = 0; c < n_cores; ++c) {
+    l.push_back({c, core_prog(m_.core(c), c, n_cores)});
+  }
+  return m_.run_programs("mmm_parallel", std::move(l));
+}
+
+}  // namespace pp::kernels

@@ -1,0 +1,66 @@
+// Matrix-matrix multiplication kernel (paper §V-B, Fig. 6).
+//
+// C (m x p) = A (m x k) * B (k x p) on packed Q1.15 complex data in
+// interleaved L1.  The compute unit is a wr x wc window of C held in
+// registers: the 4x4 window uses all 30 programmable Snitch registers
+// (8 inputs + 16 accumulators + 6 control) and needs only 8 loads per 16
+// complex MACs; 4x2 and 2x2 windows are provided for the paper's
+// loads-per-MAC ablation.
+//
+// Parallelization: the (row-strip, column-window) task grid is dealt
+// cyclically over the cores.  Cores of the same tile start their k-loop at
+// staggered offsets and round-robin back, so they never hit the same bank of
+// A or B on the same cycle (the paper's conflict-avoidance rule).
+#ifndef PUSCHPOOL_KERNELS_MMM_H
+#define PUSCHPOOL_KERNELS_MMM_H
+
+#include <span>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "common/complex16.h"
+#include "sim/barrier.h"
+#include "sim/machine.h"
+
+namespace pp::kernels {
+
+struct Mmm_dims {
+  uint32_t m = 0, k = 0, p = 0;
+};
+
+class Mmm {
+ public:
+  Mmm(sim::Machine& m, arch::L1_alloc& alloc, Mmm_dims dims,
+      uint32_t window_rows = 4, uint32_t window_cols = 4);
+
+  void set_a(std::span<const common::cq15> a);
+  void set_b(std::span<const common::cq15> b);
+  std::vector<common::cq15> c() const;
+
+  // Serial baseline on one core.
+  sim::Kernel_report run_serial(arch::core_id core = 0);
+  // Parallel over the first n_cores cores (0 = whole cluster).
+  sim::Kernel_report run_parallel(uint32_t n_cores = 0);
+
+  // Complex MACs the problem needs (for MACs/cycle reporting).
+  uint64_t cmacs() const {
+    return static_cast<uint64_t>(d_.m) * d_.k * d_.p;
+  }
+
+ private:
+  // Runs one task: compute the window at (i0, j0); kk0 staggers the k loop.
+  sim::Prog window_task(sim::Core& c, uint32_t i0, uint32_t j0, uint32_t kk0);
+  sim::Prog core_prog(sim::Core& c, uint32_t index, uint32_t stride);
+
+  sim::Machine& m_;
+  arch::L1_alloc& alloc_;
+  Mmm_dims d_;
+  uint32_t wr_, wc_;
+  arch::addr_t a_ = 0, b_ = 0, c_ = 0;
+  sim::Barrier bar_;       // fork-join barrier closing the parallel region
+  uint32_t bar_cores_ = 0;
+};
+
+}  // namespace pp::kernels
+
+#endif  // PUSCHPOOL_KERNELS_MMM_H

@@ -1,0 +1,45 @@
+#include "phy/channel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pp::phy {
+
+Channel::Channel(const Channel_config& cfg, common::Rng& rng) : cfg_(cfg) {
+  const size_t blocks = (cfg_.n_sc + cfg_.coherence - 1) / cfg_.coherence;
+  h_.resize(blocks * cfg_.n_rx * cfg_.n_ue);
+  for (auto& v : h_) v = rng.cnormal() * cfg_.gain;
+}
+
+std::vector<cd> Channel::apply(const std::vector<std::vector<cd>>& x,
+                               common::Rng& noise_rng) const {
+  PP_CHECK(x.size() == cfg_.n_ue, "need one grid per UE");
+  std::vector<cd> y(static_cast<size_t>(cfg_.n_sc) * cfg_.n_rx, cd{0, 0});
+  for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+    for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+      cd acc{0, 0};
+      for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+        acc += h(sc, r, l) * x[l][sc];
+      }
+      acc += noise_rng.cnormal() * std::sqrt(cfg_.sigma2);
+      y[static_cast<size_t>(sc) * cfg_.n_rx + r] = acc;
+    }
+  }
+  return y;
+}
+
+std::vector<cd> dft_codebook(uint32_t n_rx, uint32_t n_beams) {
+  std::vector<cd> b(static_cast<size_t>(n_rx) * n_beams);
+  const double s = 1.0 / std::sqrt(static_cast<double>(n_rx));
+  for (uint32_t r = 0; r < n_rx; ++r) {
+    for (uint32_t q = 0; q < n_beams; ++q) {
+      const double ang = -2.0 * M_PI * static_cast<double>(r) * q /
+                         static_cast<double>(n_rx);
+      b[static_cast<size_t>(r) * n_beams + q] = cd{std::cos(ang), std::sin(ang)} * s;
+    }
+  }
+  return b;
+}
+
+}  // namespace pp::phy

@@ -1,0 +1,54 @@
+// Uplink channel substrate: per-sub-carrier Rayleigh block fading between
+// each UE and each receive antenna, AWGN at the antennas, and a DFT beam
+// codebook.  This replaces the over-the-air data the paper's gNB would see
+// (see DESIGN.md substitutions).
+#ifndef PUSCHPOOL_PHY_CHANNEL_H
+#define PUSCHPOOL_PHY_CHANNEL_H
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/qam.h"
+
+namespace pp::phy {
+
+struct Channel_config {
+  uint32_t n_sc = 256;     // sub-carriers
+  uint32_t n_rx = 8;       // receive antennas
+  uint32_t n_ue = 2;       // transmitting UEs
+  uint32_t coherence = 16; // sub-carriers per fading block
+  double gain = 1.0;       // per-path amplitude scale
+  double sigma2 = 1e-4;    // AWGN variance per antenna
+};
+
+class Channel {
+ public:
+  Channel(const Channel_config& cfg, common::Rng& rng);
+
+  // Frequency response antenna r <- UE l at sub-carrier sc.
+  cd h(uint32_t sc, uint32_t r, uint32_t l) const {
+    return h_[(static_cast<size_t>(sc / cfg_.coherence) * cfg_.n_rx + r) *
+                  cfg_.n_ue +
+              l];
+  }
+
+  // Apply the channel to one OFDM symbol: x[l][sc] (per-UE frequency grids)
+  // -> y[sc][r] antenna grid with AWGN.
+  std::vector<cd> apply(const std::vector<std::vector<cd>>& x,
+                        common::Rng& noise_rng) const;
+
+  const Channel_config& config() const { return cfg_; }
+
+ private:
+  Channel_config cfg_;
+  std::vector<cd> h_;  // [block][r][l]
+};
+
+// Orthonormal DFT beamforming codebook: n_rx x n_beams, column b is the
+// steering vector exp(-j 2 pi r b / n_rx) / sqrt(n_rx).
+std::vector<cd> dft_codebook(uint32_t n_rx, uint32_t n_beams);
+
+}  // namespace pp::phy
+
+#endif  // PUSCHPOOL_PHY_CHANNEL_H

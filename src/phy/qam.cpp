@@ -1,0 +1,94 @@
+#include "phy/qam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pp::phy {
+
+namespace {
+
+// Per-axis Gray map for 2^b levels: bits -> level index.
+uint32_t gray_to_level(uint32_t g) {
+  uint32_t v = g;
+  for (uint32_t shift = 1; shift < 16; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+uint32_t level_to_gray(uint32_t v) { return v ^ (v >> 1); }
+
+// Amplitude normalization: E[|s|^2] = 1 for 2^b levels per axis.
+double axis_scale(uint32_t levels) {
+  // Levels at +-1, +-3, ... +-(levels-1): mean square per axis is
+  // (levels^2 - 1) / 3; two axes double it.
+  return 1.0 / std::sqrt(2.0 * (static_cast<double>(levels) * levels - 1) / 3.0);
+}
+
+}  // namespace
+
+uint32_t qam_bits(Qam q) {
+  switch (q) {
+    case Qam::qpsk: return 2;
+    case Qam::qam16: return 4;
+    case Qam::qam64: return 6;
+    case Qam::qam256: return 8;
+  }
+  PP_CHECK(false, "bad QAM order");
+  return 0;
+}
+
+std::vector<cd> qam_modulate(Qam q, const std::vector<uint8_t>& bits) {
+  const uint32_t bps = qam_bits(q);
+  PP_CHECK(bits.size() % bps == 0, "bit count not a multiple of bits/symbol");
+  const uint32_t half = bps / 2;
+  const uint32_t levels = 1u << half;
+  const double s = axis_scale(levels);
+
+  std::vector<cd> out(bits.size() / bps);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint32_t gi = 0, gq = 0;
+    for (uint32_t b = 0; b < half; ++b) gi = (gi << 1) | bits[i * bps + b];
+    for (uint32_t b = half; b < bps; ++b) gq = (gq << 1) | bits[i * bps + b];
+    const double vi = 2.0 * gray_to_level(gi) - (levels - 1);
+    const double vq = 2.0 * gray_to_level(gq) - (levels - 1);
+    out[i] = cd{vi * s, vq * s};
+  }
+  return out;
+}
+
+std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols) {
+  const uint32_t bps = qam_bits(q);
+  const uint32_t half = bps / 2;
+  const uint32_t levels = 1u << half;
+  const double s = axis_scale(levels);
+
+  std::vector<uint8_t> bits(symbols.size() * bps);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    auto slice = [&](double v) -> uint32_t {
+      const double lvl = (v / s + (levels - 1)) / 2.0;
+      const long r = std::lround(lvl);
+      return static_cast<uint32_t>(std::min<long>(std::max<long>(r, 0), levels - 1));
+    };
+    const uint32_t gi = level_to_gray(slice(symbols[i].real()));
+    const uint32_t gq = level_to_gray(slice(symbols[i].imag()));
+    for (uint32_t b = 0; b < half; ++b) {
+      bits[i * bps + b] = (gi >> (half - 1 - b)) & 1;
+    }
+    for (uint32_t b = 0; b < half; ++b) {
+      bits[i * bps + half + b] = (gq >> (half - 1 - b)) & 1;
+    }
+  }
+  return bits;
+}
+
+std::vector<cd> qam_constellation(Qam q) {
+  const uint32_t bps = qam_bits(q);
+  std::vector<uint8_t> bits;
+  for (uint32_t v = 0; v < static_cast<uint32_t>(q); ++v) {
+    for (uint32_t b = 0; b < bps; ++b) {
+      bits.push_back((v >> (bps - 1 - b)) & 1);
+    }
+  }
+  return qam_modulate(q, bits);
+}
+
+}  // namespace pp::phy

@@ -1,0 +1,30 @@
+// Gray-coded square QAM modulation/demodulation (4/16/64/256-QAM),
+// normalized to unit average symbol energy.
+#ifndef PUSCHPOOL_PHY_QAM_H
+#define PUSCHPOOL_PHY_QAM_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace pp::phy {
+
+using cd = std::complex<double>;
+
+enum class Qam : uint32_t { qpsk = 4, qam16 = 16, qam64 = 64, qam256 = 256 };
+
+// Bits per symbol (log2 of the constellation order).
+uint32_t qam_bits(Qam q);
+
+// Map bits (MSB-first per symbol) to constellation points.
+std::vector<cd> qam_modulate(Qam q, const std::vector<uint8_t>& bits);
+
+// Hard-decision demodulation back to bits.
+std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols);
+
+// The constellation itself (for tests / EVM references).
+std::vector<cd> qam_constellation(Qam q);
+
+}  // namespace pp::phy
+
+#endif  // PUSCHPOOL_PHY_QAM_H

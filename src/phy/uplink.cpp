@@ -1,0 +1,235 @@
+#include "phy/uplink.h"
+
+#include <cmath>
+
+#include "baseline/reference.h"
+#include "common/check.h"
+
+namespace pp::phy {
+
+Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      chan_(Channel_config{cfg.n_sc, cfg.n_rx, cfg.n_ue, cfg.coherence,
+                           cfg.channel_gain, cfg.sigma2},
+            rng_),
+      codebook_(dft_codebook(cfg.n_rx, cfg.n_beams)) {
+  PP_CHECK(cfg_.fft_size >= cfg_.n_sc, "FFT size must cover active carriers");
+  const uint32_t bps = qam_bits(cfg_.qam);
+  const uint32_t n_data = cfg_.n_symb - cfg_.n_pilot_symb;
+
+  // Per-UE payloads and grids.
+  bits_.resize(cfg_.n_ue);
+  grids_.resize(cfg_.n_ue);
+  pilots_.resize(cfg_.n_ue);
+  for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+    bits_[l].resize(static_cast<size_t>(n_data) * cfg_.n_sc * bps);
+    for (auto& b : bits_[l]) b = rng_.uniform() < 0.5 ? 0 : 1;
+    const auto symbols = qam_modulate(cfg_.qam, bits_[l]);
+
+    pilots_[l].resize(cfg_.n_sc);
+    for (auto& p : pilots_[l]) {
+      p = cd{rng_.uniform() < 0.5 ? 0.5 : -0.5, rng_.uniform() < 0.5 ? 0.5 : -0.5};
+    }
+
+    grids_[l].resize(cfg_.n_symb);
+    uint32_t d = 0;
+    for (uint32_t s = 0; s < cfg_.n_symb; ++s) {
+      grids_[l][s].resize(cfg_.n_sc);
+      if (is_pilot_symbol(s)) {
+        grids_[l][s] = pilots_[l];
+      } else {
+        for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+          grids_[l][s][sc] = symbols[static_cast<size_t>(d) * cfg_.n_sc + sc] *
+                             cfg_.ue_power;
+        }
+        ++d;
+      }
+    }
+  }
+
+  // Channel + OFDM modulation to time domain, per symbol and antenna.
+  time_.resize(cfg_.n_symb);
+  for (uint32_t s = 0; s < cfg_.n_symb; ++s) {
+    std::vector<std::vector<cd>> x(cfg_.n_ue);
+    for (uint32_t l = 0; l < cfg_.n_ue; ++l) x[l] = grids_[l][s];
+    const auto y = chan_.apply(x, rng_);  // [sc][rx]
+    time_[s].resize(cfg_.n_rx);
+    for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+      std::vector<cd> bins(cfg_.fft_size, cd{0, 0});
+      for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+        bins[sc] = y[static_cast<size_t>(sc) * cfg_.n_rx + r];
+      }
+      time_[s][r] = ref::ifft(bins);
+      // Normalize so time samples keep Q15 headroom; the receiver's 1/N FFT
+      // scaling plus this factor is undone in the beamforming stage.
+      for (auto& v : time_[s][r]) v /= std::sqrt(static_cast<double>(cfg_.fft_size));
+    }
+  }
+
+  // Ideal code-separated pilot observations in the beam domain.
+  pilot_obs_.resize(cfg_.n_ue);
+  const auto h_eff = beam_channel();
+  for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+    pilot_obs_[l].resize(static_cast<size_t>(cfg_.n_sc) * cfg_.n_beams);
+    for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+      for (uint32_t b = 0; b < cfg_.n_beams; ++b) {
+        cd v = h_eff[(static_cast<size_t>(sc) * cfg_.n_beams + b) * cfg_.n_ue + l] *
+               pilots_[l][sc];
+        v += rng_.cnormal() *
+             std::sqrt(cfg_.sigma2 / (2.0 * cfg_.n_ue));  // separated noise
+        pilot_obs_[l][static_cast<size_t>(sc) * cfg_.n_beams + b] = v;
+      }
+    }
+  }
+}
+
+std::vector<cd> Uplink_scenario::beam_channel() const {
+  std::vector<cd> h_eff(static_cast<size_t>(cfg_.n_sc) * cfg_.n_beams * cfg_.n_ue);
+  for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+    for (uint32_t b = 0; b < cfg_.n_beams; ++b) {
+      for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+        cd acc{0, 0};
+        for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+          acc += codebook_[static_cast<size_t>(r) * cfg_.n_beams + b] *
+                 chan_.h(sc, r, l);
+        }
+        h_eff[(static_cast<size_t>(sc) * cfg_.n_beams + b) * cfg_.n_ue + l] = acc;
+      }
+    }
+  }
+  return h_eff;
+}
+
+std::vector<cd> Uplink_scenario::pilot_obs_beam(uint32_t l) const {
+  return pilot_obs_[l];
+}
+
+Receiver_result golden_receive(const Uplink_scenario& sc) {
+  const auto& cfg = sc.config();
+  const double fft_comp = std::sqrt(static_cast<double>(cfg.fft_size));
+
+  // 1) OFDM demodulation + 2) beamforming, per symbol: beam grid [sc][b].
+  std::vector<std::vector<cd>> beams(cfg.n_symb);
+  for (uint32_t s = 0; s < cfg.n_symb; ++s) {
+    std::vector<std::vector<cd>> freq(cfg.n_rx);
+    for (uint32_t r = 0; r < cfg.n_rx; ++r) {
+      // fft() scales by 1/N and the transmitter normalized by 1/sqrt(N), so
+      // one sqrt(N) factor restores the frequency-domain grid.
+      freq[r] = ref::fft(sc.antenna_time(s, r));
+      for (auto& v : freq[r]) v *= fft_comp;
+    }
+    beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
+    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
+      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+        cd acc{0, 0};
+        for (uint32_t r = 0; r < cfg.n_rx; ++r) {
+          acc += freq[r][scx] * sc.codebook()[static_cast<size_t>(r) * cfg.n_beams + b];
+        }
+        beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] = acc;
+      }
+    }
+  }
+
+  // 3) Channel estimation (block LS on code-separated pilot observations).
+  std::vector<cd> h_hat(static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue);
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    const auto obs = sc.pilot_obs_beam(l);
+    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
+      const cd p = sc.pilot(l)[scx];
+      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+        h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] =
+            obs[static_cast<size_t>(scx) * cfg.n_beams + b] * std::conj(p) /
+            std::norm(p);
+      }
+    }
+  }
+  const auto h_true = sc.beam_channel();
+  double ch_err = 0.0;
+  for (size_t i = 0; i < h_hat.size(); ++i) ch_err += std::norm(h_hat[i] - h_true[i]);
+  const double channel_mse = ch_err / static_cast<double>(h_hat.size());
+
+  // 4) Noise estimation from the pilot symbols.
+  double sig_acc = 0.0;
+  uint64_t sig_cnt = 0;
+  for (uint32_t s = 0; s < cfg.n_pilot_symb; ++s) {
+    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
+      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+        cd yhat{0, 0};
+        for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+          yhat += h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] *
+                  sc.pilot(l)[scx];
+        }
+        sig_acc += std::norm(beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] - yhat);
+        ++sig_cnt;
+      }
+    }
+  }
+  const double sigma2_hat = sig_acc / static_cast<double>(sig_cnt);
+
+  // 5) MIMO LMMSE per sub-carrier and data symbol (Cholesky + solves).
+  Receiver_result res;
+  res.symbols.resize(cfg.n_ue);
+  res.bits.resize(cfg.n_ue);
+  double evm_acc = 0.0;
+  uint64_t evm_cnt = 0;
+  for (uint32_t s = cfg.n_pilot_symb; s < cfg.n_symb; ++s) {
+    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
+      std::vector<ref::cd> h(static_cast<size_t>(cfg.n_beams) * cfg.n_ue);
+      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+        for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+          h[static_cast<size_t>(b) * cfg.n_ue + l] =
+              h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l];
+        }
+      }
+      std::vector<ref::cd> y(cfg.n_beams);
+      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+        y[b] = beams[s][static_cast<size_t>(scx) * cfg.n_beams + b];
+      }
+      const auto x = ref::lmmse(h, y, cfg.n_beams, cfg.n_ue, sigma2_hat);
+      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+        const cd eq = x[l] / cfg.ue_power;  // undo tx power scaling
+        res.symbols[l].push_back(eq);
+        const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
+        evm_acc += std::norm(eq - want);
+        ++evm_cnt;
+      }
+    }
+  }
+  res.evm = std::sqrt(evm_acc / static_cast<double>(evm_cnt));
+
+  // 6) Demodulate and count bit errors.
+  uint64_t nerr = 0, nbits = 0;
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    res.bits[l] = qam_demodulate(cfg.qam, res.symbols[l]);
+    // tx bits are ordered [data_symbol][sc]; symbols were pushed in the same
+    // order, so a direct compare is valid.
+    const auto& want = sc.tx_bits(l);
+    PP_CHECK(want.size() == res.bits[l].size(), "bit count mismatch");
+    for (size_t i = 0; i < want.size(); ++i) {
+      nerr += want[i] != res.bits[l][i];
+      ++nbits;
+    }
+  }
+  res.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  res.channel_mse = channel_mse;
+  res.sigma2_hat = sigma2_hat;
+  return res;
+}
+
+double evm_rms(const std::vector<cd>& want, const std::vector<cd>& got) {
+  PP_CHECK(want.size() == got.size(), "evm size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < want.size(); ++i) acc += std::norm(want[i] - got[i]);
+  return std::sqrt(acc / static_cast<double>(want.size()));
+}
+
+double bit_error_rate(const std::vector<uint8_t>& want,
+                      const std::vector<uint8_t>& got) {
+  PP_CHECK(want.size() == got.size(), "ber size mismatch");
+  if (want.empty()) return 0.0;
+  uint64_t nerr = 0;
+  for (size_t i = 0; i < want.size(); ++i) nerr += want[i] != got[i];
+  return static_cast<double>(nerr) / static_cast<double>(want.size());
+}
+
+}  // namespace pp::phy

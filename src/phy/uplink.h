@@ -1,0 +1,100 @@
+// Uplink scenario generator and golden receiver.
+//
+// Uplink_scenario builds everything the gNB lower PHY consumes: UE bits,
+// QAM data grids, QPSK pilots (amplitude 0.5 per component, matching the
+// CHE kernel's folded divide), the Rayleigh channel, and the time-domain
+// antenna signals whose FFT the receiver computes.  Golden_receiver runs the
+// whole PUSCH lower PHY in double precision (FFT -> beamforming -> CHE ->
+// NE -> LMMSE MIMO -> demodulation) and is the reference against which the
+// simulated fixed-point chain is validated.
+#ifndef PUSCHPOOL_PHY_UPLINK_H
+#define PUSCHPOOL_PHY_UPLINK_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "phy/qam.h"
+
+namespace pp::phy {
+
+struct Uplink_config {
+  uint32_t n_sc = 256;
+  uint32_t fft_size = 256;  // power of two, >= n_sc
+  uint32_t n_rx = 8;
+  uint32_t n_beams = 8;
+  uint32_t n_ue = 2;
+  uint32_t n_symb = 6;
+  uint32_t n_pilot_symb = 2;  // leading symbols carry pilots
+  Qam qam = Qam::qam16;
+  double sigma2 = 1e-5;     // noise variance per antenna
+  double ue_power = 0.05;   // per-symbol amplitude scale (Q15 headroom)
+  double channel_gain = 0.25;
+  uint32_t coherence = 16;
+  uint64_t seed = 1;
+};
+
+class Uplink_scenario {
+ public:
+  explicit Uplink_scenario(const Uplink_config& cfg);
+
+  const Uplink_config& config() const { return cfg_; }
+  const Channel& channel() const { return chan_; }
+  const std::vector<cd>& codebook() const { return codebook_; }  // n_rx x n_beams
+
+  bool is_pilot_symbol(uint32_t s) const { return s < cfg_.n_pilot_symb; }
+
+  // Transmitted payload of UE l.
+  const std::vector<uint8_t>& tx_bits(uint32_t l) const { return bits_[l]; }
+  // Frequency-domain grid of UE l at symbol s (n_sc entries).
+  const std::vector<cd>& tx_grid(uint32_t l, uint32_t s) const {
+    return grids_[l][s];
+  }
+  // Pilot sequence of UE l (same on every pilot symbol).
+  const std::vector<cd>& pilot(uint32_t l) const { return pilots_[l]; }
+
+  // Time-domain samples at antenna r for symbol s (fft_size entries).
+  const std::vector<cd>& antenna_time(uint32_t s, uint32_t r) const {
+    return time_[s][r];
+  }
+
+  // Effective beam-domain channel h_eff[sc][b][l] = sum_r B[r][b] h[sc][r][l]
+  // (what CHE should estimate).
+  std::vector<cd> beam_channel() const;
+
+  // Ideal code-separated pilot observation of UE l in the beam domain,
+  // [sc][b] (noise included, split evenly across UEs).
+  std::vector<cd> pilot_obs_beam(uint32_t l) const;
+
+ private:
+  Uplink_config cfg_;
+  common::Rng rng_;
+  Channel chan_;
+  std::vector<cd> codebook_;
+  std::vector<std::vector<uint8_t>> bits_;            // [ue]
+  std::vector<std::vector<std::vector<cd>>> grids_;   // [ue][symb][sc]
+  std::vector<std::vector<cd>> pilots_;               // [ue][sc]
+  std::vector<std::vector<std::vector<cd>>> time_;    // [symb][rx][t]
+  std::vector<std::vector<cd>> pilot_obs_;            // [ue][sc*beams]
+};
+
+struct Receiver_result {
+  std::vector<std::vector<uint8_t>> bits;  // [ue] recovered payloads
+  std::vector<std::vector<cd>> symbols;    // [ue] equalized data symbols
+  double evm = 0.0;                        // rms error vs tx constellation
+  double ber = 0.0;                        // bit error rate
+  double channel_mse = 0.0;                // CHE error vs true beam channel
+  double sigma2_hat = 0.0;                 // NE output
+};
+
+// Full double-precision lower-PHY receive chain.
+Receiver_result golden_receive(const Uplink_scenario& sc);
+
+// EVM/BER helpers shared with the simulated chain.
+double evm_rms(const std::vector<cd>& want, const std::vector<cd>& got);
+double bit_error_rate(const std::vector<uint8_t>& want,
+                      const std::vector<uint8_t>& got);
+
+}  // namespace pp::phy
+
+#endif  // PUSCHPOOL_PHY_UPLINK_H

@@ -1,0 +1,234 @@
+#include "pusch/chain_sim.h"
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/che_ne.h"
+#include "kernels/cholesky.h"
+#include "kernels/fft.h"
+#include "kernels/gram.h"
+#include "kernels/mmm.h"
+#include "sim/machine.h"
+
+namespace pp::pusch {
+
+using common::cq15;
+using common::Rng;
+
+namespace {
+
+std::vector<cq15> random_signal(size_t n, Rng& rng, double amp = 0.2) {
+  std::vector<cq15> x(n);
+  for (auto& v : x) v = common::to_cq15(rng.cnormal() * amp);
+  return x;
+}
+
+std::vector<cq15> random_spd4(Rng& rng) {
+  std::vector<ref::cd> a(8 * 4);
+  for (auto& v : a) v = rng.cnormal() * 0.1;
+  auto g = ref::gram(a, 8, 4);
+  for (int i = 0; i < 4; ++i) g[i * 4 + i] += 0.05;
+  std::vector<cq15> q(16);
+  for (int i = 0; i < 16; ++i) q[i] = common::to_cq15(g[i]);
+  return q;
+}
+
+}  // namespace
+
+Chain_result run_use_case(const Chain_config& cfg) {
+  Chain_result out;
+  Rng rng(2023);
+  const uint32_t n_cores = cfg.cluster.n_cores();
+  const uint32_t fft_n = cfg.dims.fft_size;
+  const uint32_t gang = fft_n / 16;  // cores per FFT
+
+  // ---- FFT: n_rx transforms per symbol --------------------------------
+  {
+    const uint32_t n_inst = std::max(1u, n_cores / gang);
+    const uint32_t reps = std::min(16u, cfg.dims.n_rx / n_inst);
+    const uint32_t per_run = n_inst * reps;
+    const uint32_t runs_per_symbol =
+        (cfg.dims.n_rx + per_run - 1) / per_run;
+
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Fft_parallel fft(m, alloc, fft_n, n_inst, reps);
+    for (uint32_t i = 0; i < n_inst; ++i) {
+      fft.set_input(i, 0, random_signal(fft_n, rng));
+    }
+    Chain_stage st;
+    st.name = "OFDM FFT " + std::to_string(per_run) + "x" +
+              std::to_string(fft_n) + "pt";
+    st.rep = fft.run();
+    st.times = runs_per_symbol * cfg.dims.n_symb;
+    out.stages.push_back(std::move(st));
+  }
+
+  // ---- Beamforming MMM: (n_sc x n_rx) x (n_rx x n_beams) per symbol ---
+  {
+    // MemPool's 1 MiB L1 cannot hold the full 4096x64 grid at once; process
+    // row slices (the real system streams symbol data through L1 anyway).
+    const uint64_t words_needed = static_cast<uint64_t>(fft_n) * cfg.dims.n_rx +
+                                  static_cast<uint64_t>(cfg.dims.n_rx) * cfg.dims.n_beams +
+                                  static_cast<uint64_t>(fft_n) * cfg.dims.n_beams;
+    uint32_t slices = 1;
+    while (words_needed / slices > cfg.cluster.l1_words() * 3 / 4) slices *= 2;
+    const uint32_t m_rows = fft_n / slices;
+
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Mmm mmm(m, alloc,
+                     kernels::Mmm_dims{m_rows, cfg.dims.n_rx, cfg.dims.n_beams});
+    mmm.set_a(random_signal(static_cast<size_t>(m_rows) * cfg.dims.n_rx, rng));
+    mmm.set_b(random_signal(static_cast<size_t>(cfg.dims.n_rx) * cfg.dims.n_beams, rng));
+    Chain_stage st;
+    st.name = "BF MMM " + std::to_string(m_rows) + "x" +
+              std::to_string(cfg.dims.n_rx) + "x" + std::to_string(cfg.dims.n_beams);
+    st.rep = mmm.run_parallel();
+    st.times = slices * cfg.dims.n_symb;
+    out.stages.push_back(std::move(st));
+  }
+
+  // ---- MIMO Cholesky: n_sc 4x4 decompositions per data symbol ---------
+  {
+    const uint32_t decs_per_symbol = fft_n;
+    uint32_t per_core = decs_per_symbol / n_cores;
+    uint32_t times = cfg.dims.n_data_symb();
+    if (cfg.batch_cholesky) {
+      // Batch up to 4 data symbols between barriers, L1 permitting
+      // (each 4x4 G+L pair costs 8 rows per matrix per core).
+      const uint32_t max_per_core = cfg.cluster.bank_words / 8 / 2;
+      uint32_t batch = std::min(4u, max_per_core / std::max(per_core, 1u));
+      batch = std::max(batch, 1u);
+      per_core *= batch;
+      times = (cfg.dims.n_data_symb() + batch - 1) / batch;
+    }
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Chol_batch chol(m, alloc, cfg.dims.n_ue, per_core, n_cores);
+    for (uint32_t c = 0; c < n_cores; ++c) {
+      const auto g = random_spd4(rng);
+      for (uint32_t i = 0; i < per_core; ++i) chol.set_g(c, i, g);
+    }
+    Chain_stage st;
+    st.name = "MIMO Chol " + std::to_string(per_core) + "x" +
+              std::to_string(n_cores) + " 4x4";
+    st.rep = chol.run();
+    st.times = times;
+    out.stages.push_back(std::move(st));
+  }
+
+  // ---- optional extension rows ----------------------------------------
+  if (cfg.include_estimation) {
+    const uint32_t slice_sc = 512;
+    const uint32_t slices = fft_n / slice_sc;
+    {
+      sim::Machine m(cfg.cluster);
+      arch::L1_alloc alloc(m.config());
+      kernels::Che che(m, alloc, slice_sc, cfg.dims.n_beams, cfg.dims.n_ue,
+                       n_cores);
+      for (uint32_t l = 0; l < cfg.dims.n_ue; ++l) {
+        che.set_pilot(l, random_signal(slice_sc, rng, 0.5));
+        che.set_y_sep(l, random_signal(static_cast<size_t>(slice_sc) *
+                                           cfg.dims.n_beams, rng));
+      }
+      Chain_stage st;
+      st.name = "CHE (ext)";
+      st.rep = che.run();
+      st.times = cfg.dims.n_pilot_symb * slices;
+      out.stages.push_back(std::move(st));
+    }
+    {
+      sim::Machine m(cfg.cluster);
+      arch::L1_alloc alloc(m.config());
+      kernels::Ne ne(m, alloc, slice_sc, cfg.dims.n_beams, cfg.dims.n_ue,
+                     n_cores);
+      for (uint32_t l = 0; l < cfg.dims.n_ue; ++l) {
+        ne.set_pilot(l, random_signal(slice_sc, rng, 0.5));
+      }
+      ne.set_y(random_signal(static_cast<size_t>(slice_sc) * cfg.dims.n_beams, rng));
+      ne.set_h(random_signal(static_cast<size_t>(slice_sc) * cfg.dims.n_beams *
+                                 cfg.dims.n_ue, rng, 0.1));
+      Chain_stage st;
+      st.name = "NE (ext)";
+      st.rep = ne.run();
+      st.times = cfg.dims.n_pilot_symb * slices;
+      out.stages.push_back(std::move(st));
+    }
+    {
+      // The Gramian slice is widened to the L1 budget so every core gets
+      // work and the join barrier amortizes over more sub-carriers.
+      const uint32_t gram_sc =
+          cfg.cluster.l1_words() >= (1u << 20) ? 2048 : 512;
+      sim::Machine m(cfg.cluster);
+      arch::L1_alloc alloc(m.config());
+      kernels::Gram_batch gram(m, alloc, gram_sc, cfg.dims.n_beams,
+                               cfg.dims.n_ue, n_cores);
+      gram.set_h(random_signal(static_cast<size_t>(gram_sc) *
+                                   cfg.dims.n_beams * cfg.dims.n_ue, rng, 0.15));
+      gram.set_y(random_signal(static_cast<size_t>(gram_sc) *
+                                   cfg.dims.n_beams, rng, 0.1));
+      gram.set_sigma2(common::to_q15(0.01));
+      Chain_stage st;
+      st.name = "MIMO gramian (ext)";
+      st.rep = gram.run();
+      st.times = cfg.dims.n_data_symb() * (fft_n / gram_sc);
+      out.stages.push_back(std::move(st));
+    }
+    {
+      sim::Machine m(cfg.cluster);
+      arch::L1_alloc alloc(m.config());
+      const uint32_t per_core = fft_n / n_cores;
+      kernels::Trisolve_batch ts(m, alloc, cfg.dims.n_ue, per_core, n_cores);
+      std::vector<cq15> l4(16, cq15{});
+      for (int i = 0; i < 4; ++i) l4[i * 4 + i] = cq15{common::to_q15(0.5), 0};
+      for (uint32_t c = 0; c < n_cores; ++c) {
+        for (uint32_t i = 0; i < per_core; ++i) {
+          ts.set_system(c, i, l4, random_signal(4, rng, 0.1));
+        }
+      }
+      Chain_stage st;
+      st.name = "MIMO solves (ext)";
+      st.rep = ts.run();
+      st.times = cfg.dims.n_data_symb();
+      out.stages.push_back(std::move(st));
+    }
+  }
+
+  // Parallel total over the paper's three-kernel set.
+  for (size_t i = 0; i < 3; ++i) {
+    out.parallel_cycles += out.stages[i].total_cycles();
+  }
+
+  // ---- serial baseline: same work on one core --------------------------
+  {
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Fft_serial fft(m, alloc, fft_n, 1);
+    fft.set_input(0, random_signal(fft_n, rng));
+    out.serial_cycles +=
+        fft.run().cycles * cfg.dims.n_rx * cfg.dims.n_symb;
+  }
+  {
+    // Serial MMM on a row slice, scaled (strictly linear in rows).
+    const uint32_t m_rows = 512;
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Mmm mmm(m, alloc,
+                     kernels::Mmm_dims{m_rows, cfg.dims.n_rx, cfg.dims.n_beams});
+    mmm.set_a(random_signal(static_cast<size_t>(m_rows) * cfg.dims.n_rx, rng));
+    mmm.set_b(random_signal(static_cast<size_t>(cfg.dims.n_rx) * cfg.dims.n_beams, rng));
+    out.serial_cycles += mmm.run_serial().cycles * (fft_n / m_rows) *
+                         cfg.dims.n_symb;
+  }
+  {
+    sim::Machine m(cfg.cluster);
+    arch::L1_alloc alloc(m.config());
+    kernels::Chol_serial chol(m, alloc, cfg.dims.n_ue, 16);
+    for (uint32_t i = 0; i < 16; ++i) chol.set_g(i, random_spd4(rng));
+    out.serial_cycles +=
+        chol.run().cycles * (fft_n / 16) * cfg.dims.n_data_symb();
+  }
+  return out;
+}
+
+}  // namespace pp::pusch

@@ -1,0 +1,51 @@
+// PUSCH computational-complexity model (paper Table I and Fig. 3).
+//
+// Complex MACs per slot for each lower-PHY stage, as a function of the
+// numerology and array dimensions.  The paper's Fig. 3 plots the per-stage
+// share of the total for 1..16 UEs; bench_fig3_stage_share regenerates it.
+#ifndef PUSCHPOOL_PUSCH_COMPLEXITY_H
+#define PUSCHPOOL_PUSCH_COMPLEXITY_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace pp::pusch {
+
+struct Pusch_dims {
+  uint32_t n_sc = 3276;      // active sub-carriers
+  uint32_t fft_size = 4096;  // OFDM FFT length
+  uint32_t n_symb = 14;      // symbols per slot
+  uint32_t n_pilot_symb = 2;
+  uint32_t n_rx = 64;   // antennas (N_R)
+  uint32_t n_beams = 32;  // beams (N_B)
+  uint32_t n_ue = 4;    // UEs (N_L)
+
+  uint32_t n_data_symb() const { return n_symb - n_pilot_symb; }
+};
+
+// Complex MACs per slot for each stage (Table I).
+struct Stage_macs {
+  double ofdm = 0;  // FFT:   Nsymb * NR * NSC * log2(NSC)
+  double bf = 0;    // MMM:   Nsymb * NSC * NR * NB
+  double mimo = 0;  // Chol + solves: Ndata * NSC * (NL^3/3 + 2 NL^2)
+  double che = 0;   // eltwise div: Npilot * NSC * NB * NL
+  double ne = 0;    // autocorr:    Npilot * NSC * 2 NB NL
+
+  double total() const { return ofdm + bf + mimo + che + ne; }
+};
+
+inline Stage_macs pusch_macs(const Pusch_dims& d) {
+  Stage_macs s;
+  const double nsc = d.fft_size;  // the FFT runs over the full grid
+  const double nl = d.n_ue;
+  s.ofdm = double(d.n_symb) * d.n_rx * nsc * std::log2(nsc);
+  s.bf = double(d.n_symb) * nsc * d.n_rx * d.n_beams;
+  s.mimo = double(d.n_data_symb()) * nsc * (nl * nl * nl / 3.0 + 2.0 * nl * nl);
+  s.che = double(d.n_pilot_symb) * nsc * d.n_beams * nl;
+  s.ne = double(d.n_pilot_symb) * nsc * 2.0 * d.n_beams * nl;
+  return s;
+}
+
+}  // namespace pp::pusch
+
+#endif  // PUSCHPOOL_PUSCH_COMPLEXITY_H

@@ -1,0 +1,190 @@
+#include "pusch/sim_chain.h"
+
+#include <cmath>
+
+#include "baseline/reference.h"
+#include "kernels/che_ne.h"
+#include "kernels/cholesky.h"
+#include "kernels/fft.h"
+#include "kernels/gram.h"
+#include "kernels/mmm.h"
+#include "sim/machine.h"
+
+namespace pp::pusch {
+
+using common::cq15;
+using phy::cd;
+
+namespace {
+
+// Block rescaling factors applied by the host marshalling between stages
+// (power-of-two shifts, as block-floating-point DSP would do).
+constexpr double s_time = 8.0;   // time samples into the FFT
+constexpr double s_grid = 4.0;   // frequency grid into the MMM
+constexpr double s_est = 4.0;    // beam grid into CHE/NE
+constexpr double s_rhs = 4.0;    // matched-filter output into the solves
+
+std::vector<cq15> quantize(const std::vector<cd>& x, double scale) {
+  std::vector<cq15> q(x.size());
+  for (size_t i = 0; i < x.size(); ++i) q[i] = common::to_cq15(x[i] * scale);
+  return q;
+}
+
+std::vector<cd> dequantize(const std::vector<cq15>& q, double scale) {
+  std::vector<cd> x(q.size());
+  for (size_t i = 0; i < q.size(); ++i) x[i] = common::to_cd(q[i]) / scale;
+  return x;
+}
+
+void accumulate(Sim_chain_result::Stage& st, const sim::Kernel_report& r) {
+  st.cycles += r.cycles;
+  st.instrs += r.instrs;
+  ++st.runs;
+}
+
+}  // namespace
+
+Sim_chain_result run_sim_uplink(const phy::Uplink_scenario& sc,
+                                const arch::Cluster_config& cluster) {
+  const auto& cfg = sc.config();
+  PP_CHECK(cfg.n_sc == cfg.fft_size,
+           "sim chain assumes all FFT bins are active sub-carriers");
+  const uint32_t n = cfg.fft_size;
+  const uint32_t gang = n / 16;
+  const uint32_t n_cores = cluster.n_cores();
+  const uint32_t fft_inst = std::min(cfg.n_rx, n_cores / gang);
+  PP_CHECK(fft_inst >= 1, "cluster too small for this FFT size");
+
+  sim::Machine m(cluster);
+  arch::L1_alloc alloc(m.config());
+
+  Sim_chain_result out;
+  out.stages.resize(6);
+  out.stages[0].name = "OFDM FFT";
+  out.stages[1].name = "BF MMM";
+  out.stages[2].name = "CHE";
+  out.stages[3].name = "NE";
+  out.stages[4].name = "MIMO gram";
+  out.stages[5].name = "MIMO chol+solve";
+
+  // Persistent kernel instances (buffers live in L1 across the slot).
+  kernels::Fft_parallel fft(m, alloc, n, fft_inst, 1);
+  kernels::Mmm mmm(m, alloc, kernels::Mmm_dims{n, cfg.n_rx, cfg.n_beams});
+  kernels::Che che(m, alloc, n, cfg.n_beams, cfg.n_ue, n_cores);
+  kernels::Ne ne(m, alloc, n, cfg.n_beams, cfg.n_ue, n_cores);
+  const uint32_t per_core = n / n_cores > 0 ? n / n_cores : 1;
+  kernels::Gram_batch gram(m, alloc, n, cfg.n_beams, cfg.n_ue, n_cores);
+  kernels::Chol_batch chol(m, alloc, cfg.n_ue, per_core, n_cores);
+  kernels::Trisolve_batch solve(m, alloc, cfg.n_ue, per_core, n_cores);
+
+  // Quantized beamforming codebook (n_rx x n_beams), reused every symbol.
+  std::vector<cq15> bq(sc.codebook().size());
+  for (size_t i = 0; i < bq.size(); ++i) {
+    bq[i] = common::to_cq15(sc.codebook()[i]);
+  }
+
+  // ---- per-symbol front end: FFT + beamforming ------------------------
+  // beam grid per symbol, [sc][beam], in true (unscaled) units
+  std::vector<std::vector<cd>> beams(cfg.n_symb);
+  for (uint32_t s = 0; s < cfg.n_symb; ++s) {
+    std::vector<std::vector<cd>> freq(cfg.n_rx);
+    for (uint32_t r0 = 0; r0 < cfg.n_rx; r0 += fft_inst) {
+      const uint32_t batch = std::min(fft_inst, cfg.n_rx - r0);
+      for (uint32_t i = 0; i < batch; ++i) {
+        fft.set_input(i, 0, quantize(sc.antenna_time(s, r0 + i), s_time));
+      }
+      accumulate(out.stages[0], fft.run());
+      for (uint32_t i = 0; i < batch; ++i) {
+        // The kernel computes FFT/N of the s_time-scaled samples and the
+        // transmitter normalized time by 1/sqrt(N), so the grid comes back
+        // scaled by s_time/sqrt(N).
+        freq[r0 + i] = dequantize(
+            fft.output(i, 0), s_time / std::sqrt(static_cast<double>(n)));
+      }
+    }
+
+    // Beamforming on the simulated MMM: A = grid (n x n_rx) scaled.
+    std::vector<cd> a(static_cast<size_t>(n) * cfg.n_rx);
+    for (uint32_t scx = 0; scx < n; ++scx) {
+      for (uint32_t r0 = 0; r0 < cfg.n_rx; ++r0) {
+        a[static_cast<size_t>(scx) * cfg.n_rx + r0] = freq[r0][scx];
+      }
+    }
+    mmm.set_a(quantize(a, s_grid));
+    mmm.set_b(bq);
+    accumulate(out.stages[1], mmm.run_parallel());
+    beams[s] = dequantize(mmm.c(), s_grid);
+  }
+
+  // ---- channel + noise estimation on the pilot symbols ----------------
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    che.set_pilot(l, quantize(sc.pilot(l), 1.0));
+    che.set_y_sep(l, quantize(sc.pilot_obs_beam(l), s_est));
+  }
+  accumulate(out.stages[2], che.run());
+  const auto h_hat = dequantize(che.h(), s_est);  // [sc][b][l]
+
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    ne.set_pilot(l, quantize(sc.pilot(l), 1.0));
+  }
+  ne.set_y(quantize(beams[0], s_est));
+  ne.set_h(quantize(h_hat, s_est));
+  accumulate(out.stages[3], ne.run());
+  const double sigma2_hat = ne.sigma2() / (s_est * s_est);
+  out.sigma2_hat = sigma2_hat;
+
+  // ---- MIMO per data symbol: G = H^H H + sigma2 I, Cholesky, solves ----
+  // Gramian and matched filter run on the simulated Gram_batch kernel; the
+  // host only reshuffles its interleaved outputs into the Cholesky kernel's
+  // folded per-core layout (a DMA job in a real deployment).
+  gram.set_h(quantize(h_hat, 1.0));
+  gram.set_sigma2(common::to_q15(sigma2_hat));
+  out.bits.resize(cfg.n_ue);
+  std::vector<std::vector<cd>> eq(cfg.n_ue);  // equalized symbols
+  double evm_acc = 0.0;
+  uint64_t evm_cnt = 0;
+
+  for (uint32_t s = cfg.n_pilot_symb; s < cfg.n_symb; ++s) {
+    gram.set_y(quantize(beams[s], s_rhs));
+    accumulate(out.stages[4], gram.run());
+
+    // Simulated Cholesky batch + triangular solves over all sub-carriers.
+    for (uint32_t scx = 0; scx < n; ++scx) {
+      chol.set_g(scx / per_core, scx % per_core, gram.g(scx));
+    }
+    accumulate(out.stages[5], chol.run());
+    for (uint32_t scx = 0; scx < n; ++scx) {
+      solve.set_system(scx / per_core, scx % per_core,
+                       chol.l(scx / per_core, scx % per_core), gram.rhs(scx));
+    }
+    accumulate(out.stages[5], solve.run());
+
+    for (uint32_t scx = 0; scx < n; ++scx) {
+      const auto x =
+          dequantize(solve.x(scx / per_core, scx % per_core), s_rhs);
+      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+        const cd sym = x[l] / cfg.ue_power;
+        eq[l].push_back(sym);
+        const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
+        evm_acc += std::norm(sym - want);
+        ++evm_cnt;
+      }
+    }
+  }
+  out.evm = std::sqrt(evm_acc / static_cast<double>(evm_cnt));
+
+  uint64_t nerr = 0, nbits = 0;
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    out.bits[l] = phy::qam_demodulate(cfg.qam, eq[l]);
+    const auto& want = sc.tx_bits(l);
+    PP_CHECK(want.size() == out.bits[l].size(), "payload size mismatch");
+    for (size_t i = 0; i < want.size(); ++i) {
+      nerr += want[i] != out.bits[l][i];
+      ++nbits;
+    }
+  }
+  out.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  return out;
+}
+
+}  // namespace pp::pusch

@@ -1,0 +1,89 @@
+#include "sim/barrier.h"
+
+#include <algorithm>
+
+namespace pp::sim {
+
+Barrier Barrier::create(arch::L1_alloc& alloc, const arch::Cluster_config& cfg,
+                        std::vector<arch::core_id> cores) {
+  PP_CHECK(!cores.empty(), "barrier needs at least one core");
+  std::sort(cores.begin(), cores.end());
+
+  Barrier b;
+  b.n_ = static_cast<uint32_t>(cores.size());
+  // Counter in the first participant's local bank.
+  b.counter_ = alloc.alloc_word(cfg.first_local_bank(cores.front()));
+  b.wake_ = Wake_set::make(cfg, cores);
+  return b;
+}
+
+Barrier Barrier::create_flat_wake(arch::L1_alloc& alloc,
+                                  const arch::Cluster_config& cfg,
+                                  std::vector<arch::core_id> cores) {
+  Barrier b = create(alloc, cfg, std::move(cores));
+  Wake_set flat;
+  flat.kind = Wake_set::Kind::cores;
+  flat.cores = b.wake_.resolve(cfg);
+  b.wake_ = std::move(flat);
+  return b;
+}
+
+Tree_barrier Tree_barrier::create(arch::L1_alloc& alloc,
+                                  const arch::Cluster_config& cfg) {
+  Tree_barrier b;
+  b.tile_.resize(cfg.n_tiles());
+  for (arch::tile_id t = 0; t < cfg.n_tiles(); ++t) {
+    // Tile counter in the tile's first bank.
+    b.tile_[t] = alloc.alloc_word(t * cfg.banks_per_tile());
+  }
+  b.group_.resize(cfg.n_groups);
+  for (arch::group_id g = 0; g < cfg.n_groups; ++g) {
+    b.group_[g] =
+        alloc.alloc_word(g * cfg.tiles_per_group * cfg.banks_per_tile());
+  }
+  b.root_ = alloc.alloc_word(0);
+  b.wake_.kind = Wake_set::Kind::all;
+  return b;
+}
+
+Prog tree_barrier_wait(Core& c, const Tree_barrier& b) {
+  const arch::Cluster_config& cfg = *c.cfg;
+  // Level 0: arrive at the tile counter (1-cycle local bank).
+  const arch::tile_id tile = cfg.tile_of_core(c.id);
+  const Tok t0 = co_await c.amo_add(b.tile_counter(tile), 1);
+  c.alu_use(2, t0.ready);
+  if (t0.value == cfg.cores_per_tile - 1) {
+    co_await c.store(b.tile_counter(tile), 0);
+    // Level 1: last of the tile ascends to the group counter.
+    const arch::group_id grp = cfg.group_of_core(c.id);
+    const Tok t1 = co_await c.amo_add(b.group_counter(grp), 1);
+    c.alu_use(2, t1.ready);
+    if (t1.value == cfg.tiles_per_group - 1) {
+      co_await c.store(b.group_counter(grp), 0);
+      // Level 2: last tile representative ascends to the root.
+      const Tok t2 = co_await c.amo_add(b.root_counter(), 1);
+      c.alu_use(2, t2.ready);
+      if (t2.value == cfg.n_groups - 1) {
+        co_await c.store(b.root_counter(), 0);
+        c.csr_wake(b.wake());
+      }
+    }
+  }
+  co_await c.wfi();
+}
+
+Prog barrier_wait(Core& c, const Barrier& b) {
+  if (b.n_cores() == 1) co_return;  // nothing to synchronize
+  const Tok tok = co_await c.amo_add(b.counter_addr(), 1);
+  c.alu_use(2, tok.ready);  // compare arrival count + branch
+  if (tok.value == b.n_cores() - 1) {
+    // Last arrival: reset the counter, then assert the wake-up trigger.
+    // The trigger also targets this core, so the WFI below falls through as
+    // soon as the trigger fires (MemPool's runtime does exactly this).
+    co_await c.store(b.counter_addr(), 0);
+    c.csr_wake(b.wake());
+  }
+  co_await c.wfi();
+}
+
+}  // namespace pp::sim

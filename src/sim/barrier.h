@@ -1,0 +1,80 @@
+// Synchronization barriers (paper §IV).
+//
+// A barrier is an L1 counter plus a wake-up trigger.  Arriving cores
+// atomically increment the counter and go to WFI sleep; the last core resets
+// the counter and asserts the wake-up CSR(s) covering exactly the
+// participants.  Full-cluster barriers broadcast (one CSR write); subset
+// barriers use the group/tile/core triggers TeraPool adds, so independent
+// core groups can synchronize without disturbing each other.
+#ifndef PUSCHPOOL_SIM_BARRIER_H
+#define PUSCHPOOL_SIM_BARRIER_H
+
+#include <vector>
+
+#include "arch/address_map.h"
+#include "sim/machine.h"
+#include "sim/wake.h"
+
+namespace pp::sim {
+
+class Barrier {
+ public:
+  Barrier() = default;
+
+  // Build a barrier for `cores` (need not be sorted).  The counter lives in
+  // a bank local to the first participant's tile, so barrier traffic stays
+  // off the remote interconnect.
+  static Barrier create(arch::L1_alloc& alloc,
+                        const arch::Cluster_config& cfg,
+                        std::vector<arch::core_id> cores);
+
+  // Like create(), but the wake-up trigger writes one CSR per core instead
+  // of using the hierarchical group/tile CSRs (the §IV ablation: what a
+  // cluster without TeraPool's added triggers must do).
+  static Barrier create_flat_wake(arch::L1_alloc& alloc,
+                                  const arch::Cluster_config& cfg,
+                                  std::vector<arch::core_id> cores);
+
+  arch::addr_t counter_addr() const { return counter_; }
+  uint32_t n_cores() const { return n_; }
+  const Wake_set& wake() const { return wake_; }
+
+ private:
+  arch::addr_t counter_ = 0;
+  uint32_t n_ = 0;
+  Wake_set wake_;
+};
+
+// Coroutine a core awaits to join barrier `b`.
+Prog barrier_wait(Core& c, const Barrier& b);
+
+// Hierarchical-arrival ("log") barrier, as in the MemPool runtime: cores
+// increment a counter in their own tile, the last arrival per tile ascends
+// to a group counter, the last group representative to the cluster counter,
+// which fires the broadcast.  Arrival serialization drops from O(cores) on
+// one bank to O(cores/tile + tiles/group + groups).
+class Tree_barrier {
+ public:
+  Tree_barrier() = default;
+
+  // Covers the whole cluster.
+  static Tree_barrier create(arch::L1_alloc& alloc,
+                             const arch::Cluster_config& cfg);
+
+  arch::addr_t tile_counter(arch::tile_id t) const { return tile_[t]; }
+  arch::addr_t group_counter(arch::group_id g) const { return group_[g]; }
+  arch::addr_t root_counter() const { return root_; }
+  const Wake_set& wake() const { return wake_; }
+
+ private:
+  std::vector<arch::addr_t> tile_;
+  std::vector<arch::addr_t> group_;
+  arch::addr_t root_ = 0;
+  Wake_set wake_;
+};
+
+Prog tree_barrier_wait(Core& c, const Tree_barrier& b);
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_BARRIER_H

@@ -1,0 +1,94 @@
+// Instruction-fetch model.
+//
+// Kernel code is not compiled to RISC-V here, so static code layout is
+// reconstructed from C++ call sites: the first time a call site issues, the
+// registry assigns it consecutive "slots" in a virtual code image (one slot
+// per instruction, in first-execution order, which approximates program
+// order).  Slots group into 4-instruction lines; each core has a small
+// direct-mapped L0 cache of lines and pays a refill penalty per missing line
+// (hit in the shared per-tile L1 I$).  Loop bodies that fit in L0 hit after
+// the first iteration, so cores executing few iterations show a larger
+// instruction-stall fraction - the effect the paper reports for TeraPool.
+#ifndef PUSCHPOOL_SIM_ICACHE_H
+#define PUSCHPOOL_SIM_ICACHE_H
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pp::sim {
+
+inline constexpr uint32_t icache_line_instrs = 4;
+
+// Maps C++ call sites to slot ranges of the virtual code image.
+class Site_registry {
+ public:
+  Site_registry() : table_(capacity) {}
+
+  // First slot of this site; registers `n_instrs` consecutive slots on first
+  // use.
+  uint32_t lookup(const std::source_location& sl, uint32_t n_instrs) {
+    uint64_t key = reinterpret_cast<uint64_t>(sl.file_name());
+    key = key * 1000003u + static_cast<uint64_t>(sl.line()) * 97u + sl.column();
+    key |= 1;  // never 0 (0 marks an empty table entry)
+    size_t i = (key * 0x9e3779b97f4a7c15ull >> 32) & (capacity - 1);
+    while (true) {
+      Entry& e = table_[i];
+      if (e.key == key) return e.first_slot;
+      if (e.key == 0) {
+        PP_CHECK(used_ + 1 < capacity / 2, "site registry overflow");
+        ++used_;
+        e.key = key;
+        e.first_slot = next_slot_;
+        next_slot_ += n_instrs;
+        return e.first_slot;
+      }
+      i = (i + 1) & (capacity - 1);
+    }
+  }
+
+ private:
+  static constexpr size_t capacity = 1 << 14;
+  struct Entry {
+    uint64_t key = 0;
+    uint32_t first_slot = 0;
+  };
+  std::vector<Entry> table_;
+  size_t used_ = 0;
+  uint32_t next_slot_ = 0;
+};
+
+// Per-core L0 instruction cache (direct-mapped, line-grained).
+class L0_icache {
+ public:
+  void configure(uint32_t n_instrs) {
+    n_lines_ = n_instrs / icache_line_instrs;
+    if (n_lines_ == 0) n_lines_ = 1;
+    tags_.assign(n_lines_, ~0u);
+  }
+
+  // Touch the lines covering slots [first, first + n); returns missing lines.
+  uint32_t touch(uint32_t first_slot, uint32_t n_instrs) {
+    const uint32_t first_line = first_slot / icache_line_instrs;
+    const uint32_t last_line = (first_slot + n_instrs - 1) / icache_line_instrs;
+    uint32_t misses = 0;
+    for (uint32_t line = first_line; line <= last_line; ++line) {
+      uint32_t& tag = tags_[line % n_lines_];
+      if (tag != line) {
+        tag = line;
+        ++misses;
+      }
+    }
+    return misses;
+  }
+
+ private:
+  uint32_t n_lines_ = 16;
+  std::vector<uint32_t> tags_ = std::vector<uint32_t>(16, ~0u);
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_ICACHE_H

@@ -1,0 +1,329 @@
+#include "sim/machine.h"
+
+namespace pp::sim {
+
+// ---------------------------------------------------------------------------
+// Core: instruction issue
+// ---------------------------------------------------------------------------
+
+uint64_t Core::issue(const Sl& sl, uint32_t n_instr, uint64_t dep_a,
+                     uint64_t dep_b) {
+  // Instruction fetch: refill missing L0 lines from the shared L1 I$.
+  const uint32_t first_slot = machine->sites().lookup(sl, n_instr);
+  const uint32_t misses = l0.touch(first_slot, n_instr);
+  if (misses != 0) {
+    const uint64_t pen =
+        static_cast<uint64_t>(misses) * cfg->icache_refill_cycles;
+    stall(Stall::icache, pen);
+    t += pen;
+  }
+  // RAW: wait for operands.
+  const uint64_t dep = std::max(dep_a, dep_b);
+  if (dep > t) {
+    stall(Stall::raw, dep - t);
+    t = dep;
+  }
+  const uint64_t at = t;
+  instrs += n_instr;
+  t += n_instr;
+  return at;
+}
+
+uint64_t Core::div(uint64_t dep_a, uint64_t dep_b, Sl sl) {
+  // The divider is not pipelined: a second divide stalls until it frees up.
+  const uint64_t dep = std::max(dep_a, dep_b);
+  if (dep > t) {
+    stall(Stall::raw, dep - t);
+    t = dep;
+  }
+  if (div_free > t) {
+    stall(Stall::extunit, div_free - t);
+    t = div_free;
+  }
+  const uint64_t at = issue(sl, 1, 0, 0);
+  div_free = at + cfg->div_latency;
+  return at + cfg->div_latency;
+}
+
+uint32_t Core::lsu_acquire() {
+  const uint32_t depth = std::min(cfg->lsu_depth, max_lsu_depth);
+  uint32_t in_flight = 0;
+  uint32_t free_slot = depth;
+  uint64_t earliest = std::numeric_limits<uint64_t>::max();
+  uint32_t earliest_slot = 0;
+  for (uint32_t i = 0; i < depth; ++i) {
+    if (lsu_done[i] > t) {
+      ++in_flight;
+      if (lsu_done[i] < earliest) {
+        earliest = lsu_done[i];
+        earliest_slot = i;
+      }
+    } else {
+      free_slot = i;
+    }
+  }
+  if (in_flight == depth) {
+    stall(Stall::lsu, earliest - t);
+    t = earliest;
+    return earliest_slot;
+  }
+  return free_slot;
+}
+
+Core::Mem_awaiter Core::mem_op(Pending::Kind k, arch::addr_t a, uint32_t value,
+                               uint64_t dep, const Sl& sl) {
+  PP_CHECK(pending.kind == Pending::Kind::none,
+           "core issued a memory op while one is pending");
+  const uint32_t slot = lsu_acquire();
+  const uint64_t at = issue(sl, 1, dep, 0);
+  pending = Pending{k, a, value, at, slot};
+  return Mem_awaiter{*this};
+}
+
+Core::Mem_awaiter Core::load(arch::addr_t a, Sl sl) {
+  return mem_op(Pending::Kind::load, a, 0, 0, sl);
+}
+Core::Mem_awaiter Core::store(arch::addr_t a, uint32_t value, uint64_t dep,
+                              Sl sl) {
+  return mem_op(Pending::Kind::store, a, value, dep, sl);
+}
+Core::Mem_awaiter Core::amo_add(arch::addr_t a, uint32_t add, Sl sl) {
+  return mem_op(Pending::Kind::amo, a, add, 0, sl);
+}
+
+void Core::Mem_awaiter::await_suspend(std::coroutine_handle<>) const noexcept {
+  c.machine->schedule(c.id, c.pending.issue_t);
+}
+
+Core::Wfi_awaiter Core::wfi(Sl sl) {
+  issue(sl, 1, 0, 0);  // the WFI instruction itself
+  return Wfi_awaiter{*this};
+}
+
+bool Core::Wfi_awaiter::await_suspend(std::coroutine_handle<>) noexcept {
+  if (c.pending_wake) {
+    // A trigger arrived while we were still running: fall through.
+    const uint64_t eff = std::max(c.wake_at, c.t);
+    if (eff > c.t) {
+      c.stall(Stall::wfi, eff - c.t);
+      c.t = eff;
+    }
+    c.pending_wake = false;
+    c.wake_at = std::numeric_limits<uint64_t>::max();
+    return false;  // do not suspend
+  }
+  c.sleeping = true;
+  c.sleep_since = c.t;
+  return true;
+}
+
+void Core::csr_wake(const Wake_set& set, Sl sl) {
+  const uint32_t writes = set.n_csr_writes();
+  const uint64_t at = issue(sl, writes, 0, 0);
+  machine->wake(set, at + (writes - 1) + cfg->wakeup_latency);
+}
+
+// ---------------------------------------------------------------------------
+// Prog: symmetric transfer glue (needs Core definition)
+// ---------------------------------------------------------------------------
+
+std::coroutine_handle<> Prog::promise_type::Final_awaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  promise_type& pr = h.promise();
+  if (pr.cont) {
+    pr.core->active = pr.cont;
+    return pr.cont;
+  }
+  // Root program finished.
+  pr.core->finished = true;
+  pr.core->active = {};
+  --pr.core->machine->unfinished_;
+  return std::noop_coroutine();
+}
+
+std::coroutine_handle<> Prog::Sub_awaiter::await_suspend(
+    std::coroutine_handle<promise_type> parent) noexcept {
+  child.promise().core = parent.promise().core;
+  child.promise().cont = parent;
+  child.promise().core->active = child;
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(const arch::Cluster_config& cfg)
+    : cfg_(cfg), map_(cfg_), mem_(cfg_), cores_(cfg_.n_cores()),
+      buckets_(ring_size) {
+  for (arch::core_id c = 0; c < cfg_.n_cores(); ++c) {
+    cores_[c].id = c;
+    cores_[c].cfg = &cfg_;
+    cores_[c].machine = this;
+    cores_[c].l0.configure(cfg_.l0_icache_instrs);
+  }
+}
+
+void Machine::schedule(arch::core_id c, uint64_t at) {
+  PP_CHECK(at >= now_, "event scheduled in the past");
+  PP_CHECK(at - now_ < ring_size, "event beyond scheduler horizon");
+  buckets_[at & (ring_size - 1)].push_back(c);
+  ++pending_events_;
+}
+
+void Machine::wake(const Wake_set& set, uint64_t at) {
+  // Serialize concurrent triggers at the wake-up CSR unit.
+  at = std::max(at, csr_unit_free_);
+  csr_unit_free_ = at + 1;
+  for (arch::core_id cid : set.resolve(cfg_)) {
+    Core& k = cores_[cid];
+    if (k.finished) continue;
+    if (k.sleeping) {
+      const uint64_t eff = std::max(at, k.sleep_since + 1);
+      if (eff < k.wake_at) {
+        k.wake_at = eff;
+        schedule(cid, eff);
+      }
+    } else {
+      k.pending_wake = true;
+      k.wake_at = std::min(k.wake_at, at);
+    }
+  }
+}
+
+void Machine::dispatch(Core& c) {
+  if (c.finished) return;  // stale event
+  if (c.pending.kind != Core::Pending::Kind::none) {
+    service_mem(c);
+    return;
+  }
+  if (c.sleeping) {
+    if (c.wake_at != now_) return;  // stale wake event
+    c.stall(Stall::wfi, now_ - c.sleep_since);
+    c.t = now_;
+    c.sleeping = false;
+    c.wake_at = std::numeric_limits<uint64_t>::max();
+    c.active.resume();
+    return;
+  }
+  // Fresh start (spawn event).
+  c.active.resume();
+}
+
+void Machine::service_mem(Core& c) {
+  const Core::Pending p = c.pending;
+  c.pending.kind = Core::Pending::Kind::none;
+
+  const arch::bank_id bank = map_.bank_of(p.addr);
+  const arch::Locality loc = cfg_.locality(c.id, bank);
+  const uint32_t lat = cfg_.load_use_latency(loc);
+  const uint32_t fwd = (lat - 1) / 2;  // request network hops
+  const uint32_t ret = (lat - 1) / 2;  // response network hops
+
+  const uint64_t arrive = p.issue_t + fwd;
+  const uint64_t serve = std::max(arrive, mem_.bank_free(bank));
+  // One access per bank per cycle; amo read-modify-write is done by an
+  // adder at the bank within its cycle.
+  mem_.set_bank_free(bank, serve + 1);
+  const uint64_t ready = serve + 1 + ret;
+
+  uint32_t value = 0;
+  switch (p.kind) {
+    case Core::Pending::Kind::load:
+      value = mem_.read(p.addr);
+      c.lsu_done[p.lsu_slot] = ready;
+      break;
+    case Core::Pending::Kind::store:
+      mem_.write(p.addr, p.value);
+      c.lsu_done[p.lsu_slot] = serve + ret;  // ack
+      break;
+    case Core::Pending::Kind::amo: {
+      value = mem_.read(p.addr);
+      mem_.write(p.addr, value + p.value);
+      c.lsu_done[p.lsu_slot] = ready;
+      break;
+    }
+    default:
+      PP_CHECK(false, "bad pending op");
+  }
+  c.pending_result = Tok{ready, value};
+  c.active.resume();
+}
+
+void Machine::run() {
+  while (pending_events_ > 0) {
+    auto& bucket = buckets_[now_ & (ring_size - 1)];
+    // Dispatch may append same-cycle events; index loop handles growth.
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      const arch::core_id cid = bucket[i];
+      --pending_events_;
+      dispatch(cores_[cid]);
+    }
+    bucket.clear();
+    ++now_;
+  }
+  PP_CHECK(unfinished_ == 0,
+           "simulation deadlock: programs still waiting with no events "
+           "pending (barrier mismatch?)");
+}
+
+Kernel_report Machine::run_programs(std::string label,
+                                    std::vector<Launch> launches) {
+  const uint64_t t0 = now_;
+
+  // Snapshot participating cores.
+  std::vector<Core_counters> before(launches.size());
+  for (size_t i = 0; i < launches.size(); ++i) {
+    const Core& c = cores_[launches[i].core];
+    before[i].instrs = c.instrs;
+    before[i].stall = c.stalls;
+  }
+
+  for (Launch& l : launches) {
+    Core& c = cores_[l.core];
+    PP_CHECK(c.finished, "core already running a program");
+    c.root = std::move(l.prog);
+    c.root.handle().promise().core = &c;
+    c.active = c.root.handle();
+    c.finished = false;
+    c.sleeping = false;
+    c.pending_wake = false;
+    c.wake_at = std::numeric_limits<uint64_t>::max();
+    c.t = t0;
+    ++unfinished_;
+    schedule(l.core, t0);
+  }
+
+  run();
+
+  uint64_t t_end = t0;
+  for (const Launch& l : launches) {
+    t_end = std::max(t_end, cores_[l.core].t);
+  }
+  now_ = std::max(now_, t_end);
+
+  Kernel_report r;
+  r.label = std::move(label);
+  r.cycles = t_end - t0;
+  r.n_cores = static_cast<uint32_t>(launches.size());
+  for (size_t i = 0; i < launches.size(); ++i) {
+    Core& c = cores_[launches[i].core];
+    const uint64_t di = c.instrs - before[i].instrs;
+    r.instrs += di;
+    uint64_t attributed = di;
+    for (size_t k = 0; k < n_stall_kinds; ++k) {
+      const uint64_t dk = c.stalls[k] - before[i].stall[k];
+      r.stall[k] += dk;
+      attributed += dk;
+    }
+    // A core that finished before t_end idles in WFI until the next join.
+    const uint64_t window = r.cycles;
+    PP_CHECK(attributed <= window, "cycle attribution exceeds window");
+    r.stall[static_cast<size_t>(Stall::wfi)] += window - attributed;
+    // Release the finished program's frame.
+    c.root = Prog{};
+  }
+  return r;
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,240 @@
+// Event-driven, cycle-approximate many-core machine.
+//
+// Model (paper §III):
+//  * in-order single-issue Snitch-like cores, 1 instruction/cycle peak;
+//  * scoreboarded result tokens: consuming an unready token stalls (RAW);
+//  * an 8-deep LSU: issuing into a full queue stalls (LSU);
+//  * banked L1, one access/bank/cycle, load-to-use 1/3/5 cycles for
+//    tile/group/remote banks; conflicting accesses serialize at the bank;
+//  * a small per-core L0 I$ refilled from a shared L1 I$ (instruction stalls);
+//  * a non-pipelined divider and pipelined multiplier (ext-unit/RAW stalls);
+//  * WFI sleep plus wake-up CSR triggers at cluster/group/tile/core
+//    granularity (WFI stalls).
+//
+// Cores are C++20 coroutines.  A core runs register-local work without
+// suspending (its local clock runs ahead) and suspends exactly at memory
+// operations and WFI, so every globally-visible event is processed in global
+// (cycle, insertion) order: the simulation is deterministic.
+#ifndef PUSCHPOOL_SIM_MACHINE_H
+#define PUSCHPOOL_SIM_MACHINE_H
+
+#include <algorithm>
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/topology.h"
+#include "common/check.h"
+#include "sim/icache.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "sim/wake.h"
+
+namespace pp::sim {
+
+class Machine;
+
+// Result token of a load/amo: the functional value plus the cycle at which
+// a dependent instruction can issue without stalling.
+struct Tok {
+  uint64_t ready = 0;
+  uint32_t value = 0;
+};
+
+class Core {
+ public:
+  using Sl = std::source_location;
+
+  // ---- identity ----
+  arch::core_id id = 0;
+  const arch::Cluster_config* cfg = nullptr;
+  Machine* machine = nullptr;
+
+  // ---- compute issue (no suspension; local clock runs ahead) ----
+
+  // n single-cycle integer ops (address arithmetic, compares, branches).
+  void alu(uint32_t n = 1, Sl sl = Sl::current()) { issue(sl, n, 0, 0); }
+
+  // n single-cycle ops that consume a token (e.g. branch on a loaded value).
+  void alu_use(uint32_t n, uint64_t dep, Sl sl = Sl::current()) {
+    issue(sl, n, dep, 0);
+  }
+
+  // Generic pipelined op: n_instr instructions, result after `result_lat`.
+  uint64_t op(uint32_t n_instr, uint64_t dep_a = 0, uint64_t dep_b = 0,
+              uint32_t result_lat = 1, Sl sl = Sl::current()) {
+    const uint64_t at = issue(sl, n_instr, dep_a, dep_b);
+    return at + (n_instr - 1) + result_lat;
+  }
+
+  // Complex Q15 MAC: one SIMD complex multiply-accumulate instruction
+  // (PULP Xpulpimg-style pv.cplxmul) through the pipelined multiplier.
+  uint64_t cmac(uint64_t dep_a = 0, uint64_t dep_b = 0, Sl sl = Sl::current()) {
+    return op(1, dep_a, dep_b, cfg->mul_latency, sl);
+  }
+  // Complex Q15 multiply with rounding to a packed 16-bit result: the
+  // complex multiply plus a round/normalize op.
+  uint64_t cmul(uint64_t dep_a = 0, uint64_t dep_b = 0, Sl sl = Sl::current()) {
+    return op(2, dep_a, dep_b, cfg->mul_latency, sl);
+  }
+  // Packed complex add/sub/shift: one SIMD instruction.
+  uint64_t cadd(uint64_t dep_a = 0, uint64_t dep_b = 0, Sl sl = Sl::current()) {
+    return op(1, dep_a, dep_b, 1, sl);
+  }
+  // Scalar multiply.
+  uint64_t mul(uint64_t dep_a = 0, uint64_t dep_b = 0, Sl sl = Sl::current()) {
+    return op(1, dep_a, dep_b, cfg->mul_latency, sl);
+  }
+  // Scalar divide on the non-pipelined external unit.
+  uint64_t div(uint64_t dep_a = 0, uint64_t dep_b = 0, Sl sl = Sl::current());
+
+  // Explicit RAW wait without issuing an instruction (modelled as part of the
+  // consuming instruction in hardware; use only when no consumer op exists).
+  void wait_for(uint64_t dep) {
+    if (dep > t) {
+      stall(Stall::raw, dep - t);
+      t = dep;
+    }
+  }
+
+  // ---- memory operations (suspension points) ----
+
+  struct Mem_awaiter {
+    Core& c;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept;
+    Tok await_resume() const noexcept { return c.pending_result; }
+  };
+
+  Mem_awaiter load(arch::addr_t a, Sl sl = Sl::current());
+  Mem_awaiter store(arch::addr_t a, uint32_t value, uint64_t dep = 0,
+                    Sl sl = Sl::current());
+  Mem_awaiter amo_add(arch::addr_t a, uint32_t add, Sl sl = Sl::current());
+
+  // ---- synchronization ----
+
+  struct Wfi_awaiter {
+    Core& c;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<>) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  // Sleep until a wake-up trigger (one WFI instruction, then idle cycles are
+  // counted as WFI stalls).
+  Wfi_awaiter wfi(Sl sl = Sl::current());
+
+  // Write the wake-up CSR(s) asserting `set`; one instruction per CSR write.
+  void csr_wake(const Wake_set& set, Sl sl = Sl::current());
+
+  // ---- state (managed by Machine; kernels only read `t`) ----
+  uint64_t t = 0;  // local clock (>= machine time at suspension points)
+  uint64_t instrs = 0;
+  std::array<uint64_t, n_stall_kinds> stalls{};
+
+  // LSU
+  static constexpr uint32_t max_lsu_depth = 16;
+  std::array<uint64_t, max_lsu_depth> lsu_done{};
+
+  // divider
+  uint64_t div_free = 0;
+
+  // instruction fetch
+  L0_icache l0;
+
+  // coroutine / scheduling state
+  std::coroutine_handle<> active{};
+  Prog root;
+  bool finished = true;
+  bool sleeping = false;
+  bool pending_wake = false;
+  uint64_t sleep_since = 0;
+  uint64_t wake_at = std::numeric_limits<uint64_t>::max();
+
+  struct Pending {
+    enum class Kind : uint8_t { none, load, store, amo } kind = Kind::none;
+    arch::addr_t addr = 0;
+    uint32_t value = 0;
+    uint64_t issue_t = 0;
+    uint32_t lsu_slot = 0;
+  };
+  Pending pending;
+  Tok pending_result;
+
+  void stall(Stall k, uint64_t n) { stalls[static_cast<size_t>(k)] += n; }
+
+ private:
+  friend class Machine;
+
+  // Issue n_instr instructions; returns the cycle of the first one.
+  uint64_t issue(const Sl& sl, uint32_t n_instr, uint64_t dep_a, uint64_t dep_b);
+
+  // Reserve an LSU slot, stalling if the queue is full; returns slot index.
+  uint32_t lsu_acquire();
+
+  Mem_awaiter mem_op(Pending::Kind k, arch::addr_t a, uint32_t value,
+                     uint64_t dep, const Sl& sl);
+};
+
+class Machine {
+ public:
+  Machine(const arch::Cluster_config& cfg);
+
+  const arch::Cluster_config& config() const { return cfg_; }
+  const arch::Address_map& map() const { return map_; }
+  Memory& mem() { return mem_; }
+  const Memory& mem() const { return mem_; }
+  Core& core(arch::core_id c) { return cores_[c]; }
+  uint64_t now() const { return now_; }
+
+  // ---- program execution ----
+  struct Launch {
+    arch::core_id core;
+    Prog prog;
+  };
+
+  // Run the given programs to completion (all launched at the same cycle)
+  // and return the aggregated kernel report.
+  Kernel_report run_programs(std::string label, std::vector<Launch> launches);
+
+  // ---- services used by Core (public for awaiters) ----
+  void schedule(arch::core_id c, uint64_t at);
+  void wake(const Wake_set& set, uint64_t at);
+  Site_registry& sites() { return sites_; }
+
+ private:
+  void run();
+  void dispatch(Core& c);
+  void service_mem(Core& c);
+
+  arch::Cluster_config cfg_;
+  arch::Address_map map_;
+  Memory mem_;
+  std::vector<Core> cores_;
+  Site_registry sites_;
+
+  uint64_t now_ = 0;
+  uint64_t pending_events_ = 0;
+  uint32_t unfinished_ = 0;
+  // The cluster's wake-up CSR unit accepts one trigger per cycle: gangs
+  // finishing barriers simultaneously contend here (the paper's observation
+  // that larger clusters see more synchronization overhead).
+  uint64_t csr_unit_free_ = 0;
+
+  static constexpr size_t ring_bits = 15;
+  static constexpr size_t ring_size = size_t{1} << ring_bits;  // 32768 cycles
+  std::vector<std::vector<arch::core_id>> buckets_;
+
+  friend class Core;
+  friend struct Prog::promise_type;
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_MACHINE_H

@@ -1,0 +1,46 @@
+// Banked L1 data memory: functional word storage plus per-bank availability
+// used by the Machine for conflict arbitration (one access per bank per
+// cycle, paper §V).
+#ifndef PUSCHPOOL_SIM_MEMORY_H
+#define PUSCHPOOL_SIM_MEMORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/topology.h"
+#include "common/check.h"
+
+namespace pp::sim {
+
+class Memory {
+ public:
+  explicit Memory(const arch::Cluster_config& cfg)
+      : words_(cfg.l1_words(), 0u), bank_free_(cfg.n_banks(), 0u) {}
+
+  uint32_t read(arch::addr_t a) const {
+    PP_CHECK(a < words_.size(), "L1 read out of range");
+    return words_[a];
+  }
+  void write(arch::addr_t a, uint32_t v) {
+    PP_CHECK(a < words_.size(), "L1 write out of range");
+    words_[a] = v;
+  }
+
+  // Host-side accessors for test/bench setup and checking (no timing).
+  uint32_t peek(arch::addr_t a) const { return read(a); }
+  void poke(arch::addr_t a, uint32_t v) { write(a, v); }
+
+  uint64_t bank_free(arch::bank_id b) const { return bank_free_[b]; }
+  void set_bank_free(arch::bank_id b, uint64_t t) { bank_free_[b] = t; }
+
+  size_t n_words() const { return words_.size(); }
+
+ private:
+  std::vector<uint32_t> words_;
+  std::vector<uint64_t> bank_free_;
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_MEMORY_H

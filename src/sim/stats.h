@@ -1,0 +1,70 @@
+// Cycle-attribution statistics.
+//
+// Every cycle of every participating core is attributed to exactly one
+// bucket, mirroring the breakdown of the paper's Fig. 8:
+//   instr   - a useful instruction issued
+//   raw     - read-after-write stall (waiting on mul/div/LSU results)
+//   lsu     - load/store unit full (back-pressure, includes bank conflicts)
+//   icache  - instruction-fetch stall (L0 refill from the shared L1 I$)
+//   extunit - non-pipelined external unit (divider) busy
+//   wfi     - sleeping in wait-for-interrupt (synchronization idle time)
+#ifndef PUSCHPOOL_SIM_STATS_H
+#define PUSCHPOOL_SIM_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pp::sim {
+
+enum class Stall : uint8_t { raw = 0, lsu, icache, extunit, wfi, n_kinds };
+
+inline constexpr size_t n_stall_kinds = static_cast<size_t>(Stall::n_kinds);
+
+inline const char* stall_name(Stall s) {
+  switch (s) {
+    case Stall::raw: return "raw";
+    case Stall::lsu: return "lsu";
+    case Stall::icache: return "instr$";
+    case Stall::extunit: return "extunit";
+    case Stall::wfi: return "wfi";
+    default: return "?";
+  }
+}
+
+struct Core_counters {
+  uint64_t instrs = 0;
+  std::array<uint64_t, n_stall_kinds> stall{};
+};
+
+// Aggregated result of running one kernel (a set of programs) to completion.
+struct Kernel_report {
+  std::string label;
+  uint64_t cycles = 0;   // wall-clock cycles of the kernel region
+  uint32_t n_cores = 0;  // participating cores
+  uint64_t instrs = 0;   // total instructions over all participants
+  std::array<uint64_t, n_stall_kinds> stall{};
+
+  // Core-cycles available in the region.
+  uint64_t core_cycles() const {
+    return cycles * static_cast<uint64_t>(n_cores);
+  }
+  // Average per-core IPC == utilization (paper's metric).
+  double ipc() const {
+    return core_cycles() ? static_cast<double>(instrs) / static_cast<double>(core_cycles()) : 0.0;
+  }
+  double frac_instr() const {
+    return core_cycles() ? static_cast<double>(instrs) / static_cast<double>(core_cycles()) : 0.0;
+  }
+  double frac(Stall k) const {
+    return core_cycles() ? static_cast<double>(stall[static_cast<size_t>(k)]) /
+                               static_cast<double>(core_cycles())
+                         : 0.0;
+  }
+  // Memory-related stall fraction (paper claims < 10%).
+  double frac_memory_stalls() const { return frac(Stall::lsu) + frac(Stall::raw); }
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_STATS_H

@@ -1,0 +1,79 @@
+// Coroutine program type for simulated cores.
+//
+// Each core runs one `Prog` coroutine; kernel code co_awaits memory
+// operations (suspension points arbitrated by the Machine in global cycle
+// order) and may co_await sub-programs, which run on the same core with
+// symmetric transfer (no per-call scheduling cost).
+#ifndef PUSCHPOOL_SIM_TASK_H
+#define PUSCHPOOL_SIM_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace pp::sim {
+
+class Core;
+
+class Prog {
+ public:
+  struct promise_type {
+    Core* core = nullptr;
+    std::coroutine_handle<> cont;
+
+    Prog get_return_object() {
+      return Prog{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct Final_awaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    Final_awaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Prog() = default;
+  explicit Prog(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Prog(Prog&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Prog& operator=(Prog&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Prog(const Prog&) = delete;
+  Prog& operator=(const Prog&) = delete;
+  ~Prog() { destroy(); }
+
+  std::coroutine_handle<promise_type> handle() const { return h_; }
+  bool valid() const { return static_cast<bool>(h_); }
+
+  // Awaiting a Prog runs it as a sub-program of the awaiting core.
+  struct Sub_awaiter {
+    std::coroutine_handle<promise_type> child;
+    bool await_ready() const noexcept { return !child || child.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<promise_type> parent) noexcept;
+    void await_resume() const noexcept {}
+  };
+  Sub_awaiter operator co_await() const noexcept { return Sub_awaiter{h_}; }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_TASK_H

@@ -1,0 +1,100 @@
+#include "sim/wake.h"
+
+#include "common/check.h"
+
+namespace pp::sim {
+
+Wake_set Wake_set::make(const arch::Cluster_config& cfg,
+                        std::span<const arch::core_id> sorted_cores) {
+  Wake_set w;
+  if (sorted_cores.size() == cfg.n_cores()) {
+    w.kind = Kind::all;
+    return w;
+  }
+
+  // Count members per tile and per group.
+  std::vector<uint32_t> per_tile(cfg.n_tiles(), 0);
+  std::vector<uint32_t> per_group(cfg.n_groups, 0);
+  for (arch::core_id c : sorted_cores) {
+    PP_CHECK(c < cfg.n_cores(), "wake set core out of range");
+    ++per_tile[cfg.tile_of_core(c)];
+    ++per_group[cfg.group_of_core(c)];
+  }
+
+  const uint32_t cores_per_group = cfg.tiles_per_group * cfg.cores_per_tile;
+  bool group_aligned = true;
+  for (uint32_t g = 0; g < cfg.n_groups; ++g) {
+    if (per_group[g] != 0 && per_group[g] != cores_per_group) {
+      group_aligned = false;
+      break;
+    }
+  }
+  if (group_aligned) {
+    w.kind = Kind::groups;
+    for (uint32_t g = 0; g < cfg.n_groups; ++g) {
+      if (per_group[g] != 0) w.group_mask |= uint64_t{1} << g;
+    }
+    return w;
+  }
+
+  bool tile_aligned = true;
+  for (uint32_t tl = 0; tl < cfg.n_tiles(); ++tl) {
+    if (per_tile[tl] != 0 && per_tile[tl] != cfg.cores_per_tile) {
+      tile_aligned = false;
+      break;
+    }
+  }
+  if (tile_aligned) {
+    w.kind = Kind::tiles;
+    for (uint32_t g = 0; g < cfg.n_groups; ++g) {
+      uint32_t mask = 0;
+      for (uint32_t lt = 0; lt < cfg.tiles_per_group; ++lt) {
+        if (per_tile[g * cfg.tiles_per_group + lt] != 0) mask |= 1u << lt;
+      }
+      if (mask != 0) w.tile_masks.emplace_back(g, mask);
+    }
+    return w;
+  }
+
+  w.kind = Kind::cores;
+  w.cores.assign(sorted_cores.begin(), sorted_cores.end());
+  return w;
+}
+
+std::vector<arch::core_id> Wake_set::resolve(
+    const arch::Cluster_config& cfg) const {
+  std::vector<arch::core_id> out;
+  switch (kind) {
+    case Kind::all:
+      out.resize(cfg.n_cores());
+      for (arch::core_id c = 0; c < cfg.n_cores(); ++c) out[c] = c;
+      break;
+    case Kind::groups: {
+      const uint32_t cores_per_group = cfg.tiles_per_group * cfg.cores_per_tile;
+      for (uint32_t g = 0; g < cfg.n_groups; ++g) {
+        if (!(group_mask & (uint64_t{1} << g))) continue;
+        for (uint32_t i = 0; i < cores_per_group; ++i) {
+          out.push_back(g * cores_per_group + i);
+        }
+      }
+      break;
+    }
+    case Kind::tiles:
+      for (const auto& [g, mask] : tile_masks) {
+        for (uint32_t lt = 0; lt < cfg.tiles_per_group; ++lt) {
+          if (!(mask & (1u << lt))) continue;
+          const arch::tile_id tl = g * cfg.tiles_per_group + lt;
+          for (uint32_t i = 0; i < cfg.cores_per_tile; ++i) {
+            out.push_back(tl * cfg.cores_per_tile + i);
+          }
+        }
+      }
+      break;
+    case Kind::cores:
+      out = cores;
+      break;
+  }
+  return out;
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,51 @@
+// Wake-up trigger sets (paper §IV, Fig. 4c).
+//
+// MemPool wakes all cores by broadcast or one core by ID.  TeraPool adds a
+// CSR that wakes a *set of groups* with one write and, per group, a CSR that
+// wakes a set of its tiles with one write.  Wake_set::make picks the coarsest
+// granularity that exactly covers a subset of cores and exposes the number of
+// CSR writes the trigger costs.
+#ifndef PUSCHPOOL_SIM_WAKE_H
+#define PUSCHPOOL_SIM_WAKE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/topology.h"
+
+namespace pp::sim {
+
+struct Wake_set {
+  enum class Kind { all, groups, tiles, cores };
+
+  Kind kind = Kind::all;
+  uint64_t group_mask = 0;  // Kind::groups
+  // Kind::tiles: (group, mask of tiles inside that group)
+  std::vector<std::pair<arch::group_id, uint32_t>> tile_masks;
+  std::vector<arch::core_id> cores;  // Kind::cores
+
+  // Number of CSR writes needed to assert this trigger.
+  uint32_t n_csr_writes() const {
+    switch (kind) {
+      case Kind::all: return 1;
+      case Kind::groups: return 1;
+      case Kind::tiles: return static_cast<uint32_t>(tile_masks.size());
+      case Kind::cores: return static_cast<uint32_t>(cores.size());
+    }
+    return 1;
+  }
+
+  // Build the cheapest trigger that wakes exactly `sorted_cores` (ascending,
+  // unique).  Wakes must be exact: waking a superset could release cores
+  // sleeping on an unrelated barrier.
+  static Wake_set make(const arch::Cluster_config& cfg,
+                       std::span<const arch::core_id> sorted_cores);
+
+  // Materialize the target core list.
+  std::vector<arch::core_id> resolve(const arch::Cluster_config& cfg) const;
+};
+
+}  // namespace pp::sim
+
+#endif  // PUSCHPOOL_SIM_WAKE_H

@@ -1,0 +1,141 @@
+// Channel-estimation and noise-estimation kernel tests.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/che_ne.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+using kernels::Che;
+using kernels::Ne;
+
+// QPSK pilot at amplitude 0.5 per component (|x|^2 = 1/2).
+std::vector<cq15> qpsk_pilot(uint32_t n_sc, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cq15> x(n_sc);
+  for (auto& v : x) {
+    const double re = rng.uniform() < 0.5 ? 0.5 : -0.5;
+    const double im = rng.uniform() < 0.5 ? 0.5 : -0.5;
+    v = common::to_cq15({re, im});
+  }
+  return x;
+}
+
+TEST(Che, RecoversChannelNoiseless) {
+  const uint32_t n_sc = 32, n_b = 4, n_l = 2, n_cores = 8;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Che che(m, alloc, n_sc, n_b, n_l, n_cores);
+
+  Rng rng(9);
+  // True channel h[sc][b][l].
+  std::vector<ref::cd> h(size_t{n_sc} * n_b * n_l);
+  for (auto& v : h) v = rng.cnormal() * 0.2;
+
+  std::vector<std::vector<cq15>> pilots;
+  for (uint32_t l = 0; l < n_l; ++l) {
+    pilots.push_back(qpsk_pilot(n_sc, 100 + l));
+    che.set_pilot(l, pilots[l]);
+    // Ideal code-separated observation: y_l[sc][b] = h[sc][b][l] * x_l[sc].
+    std::vector<cq15> y(size_t{n_sc} * n_b);
+    for (uint32_t sc = 0; sc < n_sc; ++sc) {
+      for (uint32_t b = 0; b < n_b; ++b) {
+        const auto prod =
+            h[(sc * n_b + b) * n_l + l] * common::to_cd(pilots[l][sc]);
+        y[sc * n_b + b] = common::to_cq15(prod);
+      }
+    }
+    che.set_y_sep(l, y);
+  }
+  const auto rep = che.run();
+  EXPECT_EQ(rep.n_cores, n_cores);
+
+  const auto got = che.h();
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(std::abs(common::to_cd(got[i]) - h[i]), 0.0, 3e-3) << i;
+  }
+}
+
+TEST(Che, MemoryStallsSmall) {
+  const uint32_t n_sc = 64, n_b = 8, n_l = 2;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Che che(m, alloc, n_sc, n_b, n_l, 16);
+  for (uint32_t l = 0; l < n_l; ++l) {
+    che.set_pilot(l, qpsk_pilot(n_sc, l));
+    che.set_y_sep(l, std::vector<cq15>(size_t{n_sc} * n_b,
+                                       common::to_cq15({0.1, -0.1})));
+  }
+  const auto rep = che.run();
+  EXPECT_LT(rep.frac_memory_stalls(), 0.15);
+}
+
+TEST(Ne, EstimatesNoiseVariance) {
+  const uint32_t n_sc = 64, n_b = 8, n_l = 2, n_cores = 16;
+  const double sigma2 = 0.004;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Ne ne(m, alloc, n_sc, n_b, n_l, n_cores);
+
+  Rng rng(17);
+  std::vector<ref::cd> h(size_t{n_sc} * n_b * n_l);
+  for (auto& v : h) v = rng.cnormal() * 0.2;
+  std::vector<std::vector<cq15>> pilots;
+  for (uint32_t l = 0; l < n_l; ++l) {
+    pilots.push_back(qpsk_pilot(n_sc, 300 + l));
+    ne.set_pilot(l, pilots[l]);
+  }
+  // y = sum_l h*x + noise
+  std::vector<cq15> y(size_t{n_sc} * n_b);
+  for (uint32_t sc = 0; sc < n_sc; ++sc) {
+    for (uint32_t b = 0; b < n_b; ++b) {
+      ref::cd acc{0, 0};
+      for (uint32_t l = 0; l < n_l; ++l) {
+        acc += h[(sc * n_b + b) * n_l + l] * common::to_cd(pilots[l][sc]);
+      }
+      acc += rng.cnormal() * std::sqrt(sigma2);
+      y[sc * n_b + b] = common::to_cq15(acc);
+    }
+  }
+  ne.set_y(y);
+  std::vector<cq15> hq(h.size());
+  for (size_t i = 0; i < h.size(); ++i) hq[i] = common::to_cq15(h[i]);
+  ne.set_h(hq);
+
+  ne.run();
+  // Estimate within a factor of ~2 (quantization floor contributes).
+  EXPECT_GT(ne.sigma2(), sigma2 * 0.4);
+  EXPECT_LT(ne.sigma2(), sigma2 * 2.5);
+}
+
+TEST(Ne, ZeroNoiseGivesTinyEstimate) {
+  const uint32_t n_sc = 32, n_b = 4, n_l = 1;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Ne ne(m, alloc, n_sc, n_b, n_l, 8);
+
+  Rng rng(23);
+  std::vector<ref::cd> h(size_t{n_sc} * n_b);
+  for (auto& v : h) v = rng.cnormal() * 0.2;
+  auto pilot = qpsk_pilot(n_sc, 7);
+  ne.set_pilot(0, pilot);
+  std::vector<cq15> y(size_t{n_sc} * n_b);
+  std::vector<cq15> hq(h.size());
+  for (uint32_t sc = 0; sc < n_sc; ++sc) {
+    for (uint32_t b = 0; b < n_b; ++b) {
+      hq[sc * n_b + b] = common::to_cq15(h[sc * n_b + b]);
+      y[sc * n_b + b] = common::to_cq15(common::to_cd(hq[sc * n_b + b]) *
+                                        common::to_cd(pilot[sc]));
+    }
+  }
+  ne.set_y(y);
+  ne.set_h(hq);
+  ne.run();
+  EXPECT_LT(ne.sigma2(), 1e-4);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Cholesky kernel tests: L L^H == G across shapes, serial/batch/pair
+// equivalence, mirrored-pair load balancing, and triangular solves.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/cholesky.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+using kernels::Chol_batch;
+using kernels::Chol_pair;
+using kernels::Chol_serial;
+using kernels::Trisolve_batch;
+
+// Random Hermitian positive-definite matrix with entries comfortably inside
+// Q1.15: G = A^H A * s + eps*I from a small random A.
+std::vector<ref::cd> random_spd(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ref::cd> a(size_t{n} * 2 * n);
+  for (auto& v : a) v = rng.cnormal() * 0.1;
+  auto g = ref::gram(a, 2 * n, n);
+  for (uint32_t i = 0; i < n; ++i) g[i * n + i] += 0.02;
+  return g;
+}
+
+std::vector<cq15> quantize(const std::vector<ref::cd>& x) {
+  std::vector<cq15> q(x.size());
+  for (size_t i = 0; i < x.size(); ++i) q[i] = common::to_cq15(x[i]);
+  return q;
+}
+
+std::vector<ref::cd> to_cd(const std::vector<cq15>& x) {
+  std::vector<ref::cd> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = common::to_cd(x[i]);
+  return y;
+}
+
+// || L L^H - G ||_max
+double reconstruction_error(const std::vector<ref::cd>& g,
+                            const std::vector<cq15>& lq, uint32_t n) {
+  const auto l = to_cd(lq);
+  double worst = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      ref::cd acc{0, 0};
+      for (uint32_t k = 0; k < n; ++k) {
+        acc += l[i * n + k] * std::conj(l[j * n + k]);
+      }
+      worst = std::max(worst, std::abs(acc - g[i * n + j]));
+    }
+  }
+  return worst;
+}
+
+class CholSerialP : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CholSerialP, ReconstructsG) {
+  const uint32_t n = GetParam();
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Chol_serial chol(m, alloc, n, 1);
+
+  const auto g = random_spd(n, 100 + n);
+  chol.set_g(0, quantize(g));
+  const auto rep = chol.run();
+  EXPECT_GT(rep.instrs, 0u);
+  EXPECT_LT(reconstruction_error(g, chol.l(0), n), 5e-3) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholSerialP, ::testing::Values(4, 8, 16, 32));
+
+TEST(CholBatch, ManyIndependentMatrices) {
+  const uint32_t n = 4, per_core = 3, n_cores = 16;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Chol_batch chol(m, alloc, n, per_core, n_cores);
+
+  std::vector<std::vector<ref::cd>> gs;
+  for (uint32_t c = 0; c < n_cores; ++c) {
+    for (uint32_t i = 0; i < per_core; ++i) {
+      gs.push_back(random_spd(n, 7000 + c * per_core + i));
+      chol.set_g(c, i, quantize(gs.back()));
+    }
+  }
+  const auto rep = chol.run();
+  EXPECT_EQ(rep.n_cores, n_cores);
+  for (uint32_t c = 0; c < n_cores; ++c) {
+    for (uint32_t i = 0; i < per_core; ++i) {
+      EXPECT_LT(reconstruction_error(gs[c * per_core + i], chol.l(c, i), n),
+                5e-3);
+    }
+  }
+}
+
+TEST(CholBatch, MatchesSerialBitExactly) {
+  const uint32_t n = 4;
+  const auto g = random_spd(n, 77);
+  const auto gq = quantize(g);
+
+  sim::Machine m1(arch::Cluster_config::minipool());
+  arch::L1_alloc a1(m1.config());
+  Chol_serial s(m1, a1, n, 1);
+  s.set_g(0, gq);
+  s.run();
+
+  sim::Machine m2(arch::Cluster_config::minipool());
+  arch::L1_alloc a2(m2.config());
+  Chol_batch b(m2, a2, n, 1, 1);
+  b.set_g(0, 0, gq);
+  b.run();
+
+  EXPECT_EQ(s.l(0), b.l(0, 0));
+}
+
+TEST(CholPair, BothMatricesCorrect) {
+  const uint32_t n = 16;  // 4 cores per pair on minipool
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Chol_pair chol(m, alloc, n, 2);
+
+  std::vector<std::vector<ref::cd>> gs;
+  for (uint32_t pr = 0; pr < 2; ++pr) {
+    for (uint32_t w = 0; w < 2; ++w) {
+      gs.push_back(random_spd(n, 900 + pr * 2 + w));
+      chol.set_g(pr, w, quantize(gs.back()));
+    }
+  }
+  const auto rep = chol.run();
+  EXPECT_EQ(rep.n_cores, 8u);
+  for (uint32_t pr = 0; pr < 2; ++pr) {
+    for (uint32_t w = 0; w < 2; ++w) {
+      EXPECT_LT(reconstruction_error(gs[pr * 2 + w], chol.l(pr, w), n), 8e-3)
+          << "pair " << pr << " which " << w;
+    }
+  }
+}
+
+TEST(CholPair, MatchesSerialValues) {
+  const uint32_t n = 16;
+  const auto g0 = random_spd(n, 1234);
+  const auto g1 = random_spd(n, 1235);
+
+  sim::Machine m1(arch::Cluster_config::minipool());
+  arch::L1_alloc a1(m1.config());
+  Chol_serial s(m1, a1, n, 2);
+  s.set_g(0, quantize(g0));
+  s.set_g(1, quantize(g1));
+  s.run();
+
+  sim::Machine m2(arch::Cluster_config::minipool());
+  arch::L1_alloc a2(m2.config());
+  Chol_pair p(m2, a2, n, 1);
+  p.set_g(0, 0, quantize(g0));
+  p.set_g(0, 1, quantize(g1));
+  p.run();
+
+  EXPECT_EQ(s.l(0), p.l(0, 0));
+  EXPECT_EQ(s.l(1), p.l(0, 1));
+}
+
+// The mirrored couple balances the staircase: a pair decomposition should
+// not take much longer than 2x a half-sized... instead, compare WFI overhead
+// of mirrored pair vs. two sequential single-matrix runs on the same cores.
+TEST(CholPair, MirroringBalancesLoad) {
+  const uint32_t n = 16;
+  const auto g0 = random_spd(n, 555);
+  const auto g1 = random_spd(n, 556);
+
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Chol_pair pair(m, alloc, n, 1);
+  pair.set_g(0, 0, quantize(g0));
+  pair.set_g(0, 1, quantize(g1));
+  const auto rep = pair.run();
+
+  // Utilization should be reasonable despite the staircase.
+  EXPECT_GT(rep.ipc(), 0.3);
+  // And the fraction of WFI idle time bounded.
+  EXPECT_LT(rep.frac(sim::Stall::wfi), 0.5);
+}
+
+TEST(CholBatch, DivSqrtStallsVisible) {
+  // The Cholesky kernel's signature in the paper: RAW + ext-unit stalls from
+  // the divider/sqrt, unlike FFT/MMM.
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Chol_batch chol(m, alloc, 4, 4, 16);
+  for (uint32_t c = 0; c < 16; ++c) {
+    for (uint32_t i = 0; i < 4; ++i) {
+      chol.set_g(c, i, quantize(random_spd(4, 3000 + c * 4 + i)));
+    }
+  }
+  const auto rep = chol.run();
+  EXPECT_GT(rep.frac(sim::Stall::raw) + rep.frac(sim::Stall::extunit), 0.05);
+}
+
+// --- triangular solves ------------------------------------------------------
+
+TEST(Trisolve, SolvesAgainstReference) {
+  const uint32_t n = 4, per_core = 2, n_cores = 8;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Trisolve_batch ts(m, alloc, n, per_core, n_cores);
+
+  struct Sys {
+    std::vector<ref::cd> l, y, want;
+  };
+  std::vector<Sys> systems;
+  for (uint32_t c = 0; c < n_cores; ++c) {
+    for (uint32_t i = 0; i < per_core; ++i) {
+      // Well-scaled system (diagonally dominated, as after LMMSE
+      // regularization): Q1.15 solves need |x| < 1 throughout.
+      auto g = random_spd(n, 4000 + c * per_core + i);
+      for (uint32_t d = 0; d < n; ++d) g[d * n + d] += 0.5;
+      Sys s;
+      s.l = ref::cholesky(g, n);
+      Rng rng(5000 + c * per_core + i);
+      s.y.resize(n);
+      for (auto& v : s.y) v = rng.cnormal() * 0.05;
+      s.want = ref::backward_solve(s.l, ref::forward_solve(s.l, s.y, n), n);
+      // Pack the lower triangle and rhs.
+      std::vector<cq15> lq(size_t{n} * n, cq15{});
+      for (uint32_t r = 0; r < n; ++r) {
+        for (uint32_t col = 0; col <= r; ++col) {
+          lq[r * n + col] = common::to_cq15(s.l[r * n + col]);
+        }
+      }
+      std::vector<cq15> yq(n);
+      for (uint32_t r = 0; r < n; ++r) yq[r] = common::to_cq15(s.y[r]);
+      ts.set_system(c, i, lq, yq);
+      systems.push_back(std::move(s));
+    }
+  }
+  ts.run();
+  size_t si = 0;
+  for (uint32_t c = 0; c < n_cores; ++c) {
+    for (uint32_t i = 0; i < per_core; ++i, ++si) {
+      const auto got = to_cd(ts.x(c, i));
+      for (uint32_t r = 0; r < n; ++r) {
+        EXPECT_NEAR(std::abs(got[r] - systems[si].want[r]), 0.0, 0.05)
+            << "core " << c << " sys " << i << " row " << r;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// FFT kernel tests: geometry invariants, serial and parallel functional
+// correctness vs. the reference DFT, layout locality, and batching variants.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/fft.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+using kernels::Fft_geom;
+using kernels::Fft_parallel;
+using kernels::Fft_serial;
+
+std::vector<cq15> random_signal(uint32_t n, uint64_t seed, double amp = 0.3) {
+  Rng rng(seed);
+  std::vector<cq15> x(n);
+  for (auto& v : x) v = common::to_cq15(rng.cnormal() * amp * M_SQRT1_2);
+  return x;
+}
+
+std::vector<ref::cd> to_cd(const std::vector<cq15>& x) {
+  std::vector<ref::cd> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = common::to_cd(x[i]);
+  return y;
+}
+
+// --- geometry ---------------------------------------------------------------
+
+TEST(FftGeom, StagesAndDistances) {
+  Fft_geom g(256);
+  EXPECT_EQ(g.stages, 4u);
+  EXPECT_EQ(g.d(0), 64u);
+  EXPECT_EQ(g.d(3), 1u);
+  EXPECT_EQ(g.cores(), 16u);
+}
+
+TEST(FftGeom, ElemLocateRoundTrip) {
+  for (uint32_t n : {16u, 64u, 256u, 1024u}) {
+    Fft_geom g(n);
+    for (uint32_t k = 0; k < g.stages; ++k) {
+      for (uint32_t i = 0; i < n; ++i) {
+        const auto gj = g.locate(k, i);
+        EXPECT_EQ(g.elem(k, gj.g, gj.j), i) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FftGeom, PlacementIsBijective) {
+  Fft_geom g(256);
+  for (uint32_t k = 0; k < g.stages; ++k) {
+    std::vector<bool> seen(g.n, false);
+    for (uint32_t i = 0; i < g.n; ++i) {
+      const auto cs = g.place(k, i);
+      const uint32_t flat = cs.core * 16 + cs.slot;
+      ASSERT_LT(cs.slot, 16u);
+      ASSERT_LT(cs.core, g.cores());
+      EXPECT_FALSE(seen[flat]);
+      seen[flat] = true;
+    }
+  }
+}
+
+TEST(FftGeom, DigitrevIsInvolution) {
+  Fft_geom g(1024);
+  for (uint32_t i = 0; i < g.n; ++i) {
+    EXPECT_EQ(g.digitrev(g.digitrev(i)), i);
+  }
+}
+
+// Butterfly loads of each core land in its 4 banks, one row per butterfly
+// (the paper's folded layout, Fig. 5).
+TEST(FftGeom, FoldedLayoutIsRowPerButterfly) {
+  Fft_geom g(256);
+  for (uint32_t k = 0; k < g.stages; ++k) {
+    for (uint32_t bf = 0; bf < g.n / 4; ++bf) {
+      for (uint32_t j = 0; j < 4; ++j) {
+        const auto cs = g.place(k, g.elem(k, bf, j));
+        EXPECT_EQ(cs.core, bf / 4);
+        EXPECT_EQ(cs.slot, (bf % 4) * 4 + j);
+      }
+    }
+  }
+}
+
+// --- serial kernel ----------------------------------------------------------
+
+class FftSerialP : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FftSerialP, MatchesReferenceDft) {
+  const uint32_t n = GetParam();
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_serial fft(m, alloc, n);
+
+  const auto x = random_signal(n, 42 + n);
+  fft.set_input(0, x);
+  const auto rep = fft.run();
+  EXPECT_GT(rep.instrs, 0u);
+
+  const auto want = ref::dft(to_cd(x));
+  const auto got = to_cd(fft.output(0));
+  EXPECT_GT(ref::sqnr_db(want, got), 30.0) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSerialP, ::testing::Values(16, 64, 256));
+
+TEST(FftSerial, ImpulseGivesFlatSpectrum) {
+  const uint32_t n = 64;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_serial fft(m, alloc, n);
+
+  std::vector<cq15> x(n, cq15{});
+  x[0] = common::to_cq15({0.5, 0.0});
+  fft.set_input(0, x);
+  fft.run();
+  const auto y = fft.output(0);
+  // X[k] = 0.5/N for all k.
+  for (uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(common::from_q15(y[k].re), 0.5 / n, 2e-3) << k;
+    EXPECT_NEAR(common::from_q15(y[k].im), 0.0, 2e-3) << k;
+  }
+}
+
+TEST(FftSerial, LinearityUnderScaling) {
+  const uint32_t n = 64;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_serial a(m, alloc, n), b(m, alloc, n);
+
+  const auto x = random_signal(n, 7);
+  std::vector<cq15> x2(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    x2[i] = cq15{static_cast<int16_t>(x[i].re / 2),
+                 static_cast<int16_t>(x[i].im / 2)};
+  }
+  a.set_input(0, x);
+  b.set_input(0, x2);
+  a.run(0);
+  b.run(0);
+  const auto ya = to_cd(a.output(0));
+  const auto yb = to_cd(b.output(0));
+  for (uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(ya[k] - 2.0 * yb[k]), 0.0, 5e-3);
+  }
+}
+
+// --- parallel kernel --------------------------------------------------------
+
+class FftParallelP : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FftParallelP, MatchesReferenceDft) {
+  const uint32_t n = GetParam();
+  // minipool has 16 cores -> fits up to 256-point FFTs.
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_parallel fft(m, alloc, n);
+
+  const auto x = random_signal(n, 1000 + n);
+  fft.set_input(0, 0, x);
+  const auto rep = fft.run();
+  EXPECT_EQ(rep.n_cores, n / 16);
+
+  const auto want = ref::dft(to_cd(x));
+  const auto got = to_cd(fft.output(0, 0));
+  EXPECT_GT(ref::sqnr_db(want, got), 30.0) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParallelP, ::testing::Values(16, 64, 256));
+
+// Parallel and serial kernels produce bit-identical Q15 results.
+TEST(FftParallel, BitIdenticalToSerial) {
+  const uint32_t n = 256;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_serial s(m, alloc, n);
+  Fft_parallel p(m, alloc, n);
+
+  const auto x = random_signal(n, 99);
+  s.set_input(0, x);
+  p.set_input(0, 0, x);
+  s.run();
+  p.run();
+  const auto ys = s.output(0);
+  const auto yp = p.output(0, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ys[i], yp[i]) << "bin " << i;
+  }
+}
+
+// Multiple concurrent instances compute independent transforms.
+TEST(FftParallel, ConcurrentInstancesIndependent) {
+  const uint32_t n = 64;  // 4 cores per gang; 4 gangs on 16 cores
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_parallel fft(m, alloc, n, 4);
+
+  std::vector<std::vector<cq15>> xs;
+  for (uint32_t inst = 0; inst < 4; ++inst) {
+    xs.push_back(random_signal(n, 5000 + inst));
+    fft.set_input(inst, 0, xs.back());
+  }
+  const auto rep = fft.run();
+  EXPECT_EQ(rep.n_cores, 16u);
+  for (uint32_t inst = 0; inst < 4; ++inst) {
+    const auto want = ref::dft(to_cd(xs[inst]));
+    EXPECT_GT(ref::sqnr_db(want, to_cd(fft.output(inst, 0))), 30.0);
+  }
+}
+
+// Replicating independent FFTs between barriers (paper's batching) keeps
+// results correct and reduces synchronization overhead per FFT.
+TEST(FftParallel, RepsBatchingCorrectAndCheaper) {
+  const uint32_t n = 64;
+  const uint32_t reps = 4;
+
+  sim::Machine m1(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc1(m1.config());
+  Fft_parallel batched(m1, alloc1, n, 1, reps);
+  std::vector<std::vector<cq15>> xs;
+  for (uint32_t r = 0; r < reps; ++r) {
+    xs.push_back(random_signal(n, 31 + r));
+    batched.set_input(0, r, xs.back());
+  }
+  const auto rep_b = batched.run();
+  for (uint32_t r = 0; r < reps; ++r) {
+    EXPECT_GT(ref::sqnr_db(ref::dft(to_cd(xs[r])), to_cd(batched.output(0, r))),
+              30.0);
+  }
+
+  // Unbatched: one FFT at a time, reps times.
+  sim::Machine m2(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc2(m2.config());
+  uint64_t unbatched_cycles = 0;
+  for (uint32_t r = 0; r < reps; ++r) {
+    Fft_parallel single(m2, alloc2, n, 1, 1);
+    single.set_input(0, 0, xs[r]);
+    unbatched_cycles += single.run().cycles;
+  }
+  EXPECT_LT(rep_b.cycles, unbatched_cycles);
+  // Batching amortizes barriers: fewer WFI cycles in total.
+  EXPECT_GT(rep_b.ipc(), 0.0);
+}
+
+// The folded layout makes every butterfly load local (1-cycle): with data
+// local and conflict-free, RAW+LSU stalls stay small (paper: < 10%).
+TEST(FftParallel, MemoryStallsAreSmall) {
+  const uint32_t n = 256;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Fft_parallel fft(m, alloc, n);
+  fft.set_input(0, 0, random_signal(n, 3));
+  const auto rep = fft.run();
+  EXPECT_LT(rep.frac_memory_stalls(), 0.10)
+      << "lsu=" << rep.frac(sim::Stall::lsu) << " raw=" << rep.frac(sim::Stall::raw);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Q1.15 arithmetic layer: conversion, saturation, rounding, division,
+// square root, and the packed-complex operations the kernels build on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/complex16.h"
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace pp::common;
+
+TEST(Q15, ConversionRoundTrip) {
+  for (double x : {0.0, 0.5, -0.5, 0.25, -0.99, 0.99}) {
+    EXPECT_NEAR(from_q15(to_q15(x)), x, 1.0 / q15_one);
+  }
+}
+
+TEST(Q15, SaturatesAtBounds) {
+  EXPECT_EQ(to_q15(1.0), q15_max);
+  EXPECT_EQ(to_q15(2.0), q15_max);
+  EXPECT_EQ(to_q15(-1.0), q15_min);
+  EXPECT_EQ(to_q15(-3.0), q15_min);
+  EXPECT_EQ(add_q15(q15_max, q15_max), q15_max);
+  EXPECT_EQ(sub_q15(q15_min, q15_max), q15_min);
+}
+
+TEST(Q15, MultiplyMatchesDouble) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform() * 1.9 - 0.95;
+    const double b = rng.uniform() * 1.9 - 0.95;
+    const int16_t qa = to_q15(a), qb = to_q15(b);
+    EXPECT_NEAR(from_q15(mul_q15(qa, qb)), from_q15(qa) * from_q15(qb),
+                1.0 / q15_one);
+  }
+}
+
+TEST(Q15, DivisionMatchesDouble) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform() * 0.4 - 0.2;
+    const double b = rng.uniform() * 0.7 + 0.25;  // away from zero
+    const int16_t qa = to_q15(a), qb = to_q15(b);
+    EXPECT_NEAR(from_q15(div_q15(qa, qb)), from_q15(qa) / from_q15(qb),
+                2.0 / q15_one)
+        << a << "/" << b;
+  }
+}
+
+TEST(Q15, DivisionByZeroSaturates) {
+  EXPECT_EQ(div_q15(to_q15(0.5), 0), q15_max);
+  EXPECT_EQ(div_q15(to_q15(-0.5), 0), q15_min);
+}
+
+TEST(Q15, SqrtMatchesDouble) {
+  // Compare against the sqrt of the *quantized* input: near zero the sqrt
+  // curve is steep, so input quantization dominates any implementation.
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = i / 1000.0 * 0.99;
+    const int16_t q = to_q15(x);
+    EXPECT_NEAR(from_q15(sqrt_q15(q)), std::sqrt(from_q15(q)), 2.0 / q15_one)
+        << x;
+  }
+  EXPECT_EQ(sqrt_q15(0), 0);
+  EXPECT_EQ(sqrt_q15(-100), 0);  // clamped
+}
+
+TEST(Isqrt, ExactOnSquares) {
+  for (uint32_t v = 0; v < 2000; ++v) {
+    EXPECT_EQ(isqrt_u32(v * v), v);
+    if (v > 1) {
+      EXPECT_EQ(isqrt_u32(v * v - 1), v - 1);
+    }
+  }
+}
+
+TEST(Cq15, PackUnpackRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const cq15 v{static_cast<int16_t>(rng.next_u32()),
+                 static_cast<int16_t>(rng.next_u32())};
+    EXPECT_EQ(unpack_cq15(pack_cq15(v)), v);
+  }
+}
+
+TEST(Cq15, ComplexMultiplyMatchesDouble) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const cq15 a = to_cq15(rng.cnormal() * 0.3);
+    const cq15 b = to_cq15(rng.cnormal() * 0.3);
+    const auto want = to_cd(a) * to_cd(b);
+    const auto got = to_cd(cmul(a, b));
+    EXPECT_NEAR(std::abs(got - want), 0.0, 3.0 / q15_one);
+  }
+}
+
+TEST(Cq15, JRotations) {
+  const cq15 a = to_cq15({0.25, -0.5});
+  const std::complex<double> pj{0, 1};
+  const std::complex<double> mj{0, -1};
+  EXPECT_EQ(to_cd(cmul_j(a)), to_cd(a) * pj);
+  EXPECT_EQ(to_cd(cmul_mj(a)), to_cd(a) * mj);
+}
+
+TEST(Cq15, WideAccumulatorIsExactOverLongChains) {
+  // 4096 MACs of +-0.1 values cannot lose precision in the wide accumulator.
+  Rng rng(5);
+  cacc acc;
+  std::complex<double> want{0, 0};
+  std::vector<cq15> as, bs;
+  for (int i = 0; i < 4096; ++i) {
+    as.push_back(to_cq15(rng.cnormal() * 0.01));
+    bs.push_back(to_cq15(rng.cnormal() * 0.01));
+    acc.mac(as.back(), bs.back());
+    want += to_cd(as.back()) * to_cd(bs.back());
+  }
+  EXPECT_NEAR(std::abs(to_cd(acc.round()) - want), 0.0, 2.0 / q15_one);
+}
+
+TEST(Cq15, MacConjMatchesMsuConj) {
+  Rng rng(6);
+  const cq15 a = to_cq15(rng.cnormal() * 0.2);
+  const cq15 b = to_cq15(rng.cnormal() * 0.2);
+  cacc up, down;
+  up.mac_conj(a, b);
+  down.msu_conj(a, b);
+  EXPECT_EQ(up.re, -down.re);
+  EXPECT_EQ(up.im, -down.im);
+  const auto want = to_cd(a) * std::conj(to_cd(b));
+  EXPECT_NEAR(std::abs(to_cd(up.round()) - want), 0.0, 2.0 / q15_one);
+}
+
+TEST(Cq15, ScalingShifts) {
+  const cq15 a = to_cq15({0.5, -0.25});
+  EXPECT_NEAR(to_cd(chalf(a)).real(), 0.25, 1e-4);
+  EXPECT_NEAR(to_cd(cquarter(a)).imag(), -0.0625, 1e-4);
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+  Rng c(43);
+  double mean = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += c.uniform();
+  EXPECT_NEAR(mean / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double m1 = 0, m2 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    m1 += v;
+    m2 += v * v;
+  }
+  EXPECT_NEAR(m1 / n, 0.0, 0.03);
+  EXPECT_NEAR(m2 / n, 1.0, 0.05);
+}
+
+}  // namespace

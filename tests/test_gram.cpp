@@ -1,0 +1,100 @@
+// Gramian + matched-filter kernel tests vs. the double-precision reference.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/gram.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+using kernels::Gram_batch;
+
+TEST(Gram, MatchesReferenceGramAndMatchedFilter) {
+  const uint32_t n_sc = 32, n_b = 8, n_l = 4, n_cores = 8;
+  const double sigma2 = 0.02;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Gram_batch gram(m, alloc, n_sc, n_b, n_l, n_cores);
+
+  Rng rng(5);
+  std::vector<ref::cd> h(size_t{n_sc} * n_b * n_l);
+  std::vector<ref::cd> y(size_t{n_sc} * n_b);
+  for (auto& v : h) v = rng.cnormal() * 0.15;
+  for (auto& v : y) v = rng.cnormal() * 0.1;
+
+  std::vector<cq15> hq(h.size()), yq(y.size());
+  for (size_t i = 0; i < h.size(); ++i) hq[i] = common::to_cq15(h[i]);
+  for (size_t i = 0; i < y.size(); ++i) yq[i] = common::to_cq15(y[i]);
+  gram.set_h(hq);
+  gram.set_y(yq);
+  gram.set_sigma2(common::to_q15(sigma2));
+
+  const auto rep = gram.run();
+  EXPECT_EQ(rep.n_cores, n_cores);
+  EXPECT_GT(rep.ipc(), 0.5);
+
+  for (uint32_t sc = 0; sc < n_sc; ++sc) {
+    // Reference per-subcarrier H (n_b x n_l) from the quantized inputs.
+    std::vector<ref::cd> hsc(size_t{n_b} * n_l);
+    std::vector<ref::cd> ysc(n_b);
+    for (uint32_t b = 0; b < n_b; ++b) {
+      for (uint32_t l = 0; l < n_l; ++l) {
+        hsc[b * n_l + l] = common::to_cd(hq[(size_t{sc} * n_b + b) * n_l + l]);
+      }
+      ysc[b] = common::to_cd(yq[size_t{sc} * n_b + b]);
+    }
+    auto want_g = ref::gram(hsc, n_b, n_l);
+    for (uint32_t i = 0; i < n_l; ++i) want_g[i * n_l + i] += sigma2;
+
+    const auto got_g = gram.g(sc);
+    for (uint32_t i = 0; i < n_l; ++i) {
+      for (uint32_t j = 0; j < n_l; ++j) {
+        EXPECT_NEAR(std::abs(common::to_cd(got_g[i * n_l + j]) -
+                             want_g[i * n_l + j]),
+                    0.0, 2e-3)
+            << "sc " << sc << " (" << i << "," << j << ")";
+      }
+    }
+    // Matched filter rhs = H^H y.
+    const auto got_r = gram.rhs(sc);
+    for (uint32_t i = 0; i < n_l; ++i) {
+      ref::cd want{0, 0};
+      for (uint32_t b = 0; b < n_b; ++b) {
+        want += std::conj(hsc[b * n_l + i]) * ysc[b];
+      }
+      EXPECT_NEAR(std::abs(common::to_cd(got_r[i]) - want), 0.0, 2e-3);
+    }
+  }
+}
+
+TEST(Gram, OutputIsHermitian) {
+  const uint32_t n_sc = 16, n_b = 4, n_l = 4;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  Gram_batch gram(m, alloc, n_sc, n_b, n_l, 16);
+
+  Rng rng(7);
+  std::vector<cq15> hq(size_t{n_sc} * n_b * n_l), yq(size_t{n_sc} * n_b);
+  for (auto& v : hq) v = common::to_cq15(rng.cnormal() * 0.2);
+  for (auto& v : yq) v = common::to_cq15(rng.cnormal() * 0.1);
+  gram.set_h(hq);
+  gram.set_y(yq);
+  gram.set_sigma2(common::to_q15(0.01));
+  gram.run();
+
+  for (uint32_t sc = 0; sc < n_sc; ++sc) {
+    const auto g = gram.g(sc);
+    for (uint32_t i = 0; i < n_l; ++i) {
+      EXPECT_EQ(g[i * n_l + i].im, 0) << "diagonal must be real";
+      EXPECT_GT(g[i * n_l + i].re, 0) << "diagonal must be positive";
+      for (uint32_t j = 0; j < n_l; ++j) {
+        EXPECT_EQ(g[i * n_l + j], common::cconj(g[j * n_l + i]));
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Kernel configuration coverage: combined multi-instance + batching FFTs at
+// TeraPool scale, Cholesky pair-size sweeps, and rejection of invalid
+// configurations.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/cholesky.h"
+#include "kernels/fft.h"
+#include "kernels/mmm.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+
+std::vector<cq15> random_signal(uint32_t n, uint64_t seed, double amp = 0.25) {
+  Rng rng(seed);
+  std::vector<cq15> x(n);
+  for (auto& v : x) v = common::to_cq15(rng.cnormal() * amp);
+  return x;
+}
+
+std::vector<ref::cd> to_cd(const std::vector<cq15>& x) {
+  std::vector<ref::cd> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = common::to_cd(x[i]);
+  return y;
+}
+
+// Multi-instance AND multi-rep batching together (the use-case schedule):
+// every one of the 4x4 transforms is correct and bit-identical to serial.
+TEST(KernelConfigs, FftInstancesTimesRepsAllCorrect) {
+  sim::Machine m(arch::Cluster_config::terapool());
+  arch::L1_alloc alloc(m.config());
+  const uint32_t n = 1024, n_inst = 4, reps = 4;
+  kernels::Fft_parallel fft(m, alloc, n, n_inst, reps);
+  kernels::Fft_serial ser(m, alloc, n, 1);
+
+  std::vector<std::vector<cq15>> xs;
+  for (uint32_t i = 0; i < n_inst; ++i) {
+    for (uint32_t r = 0; r < reps; ++r) {
+      xs.push_back(random_signal(n, 100 + i * reps + r));
+      fft.set_input(i, r, xs.back());
+    }
+  }
+  fft.run();
+  for (uint32_t i = 0; i < n_inst; ++i) {
+    for (uint32_t r = 0; r < reps; ++r) {
+      ser.set_input(0, xs[i * reps + r]);
+      ser.run();
+      EXPECT_EQ(fft.output(i, r), ser.output(0)) << "inst " << i << " rep " << r;
+    }
+  }
+}
+
+// Mirrored-pair decompositions across matrix sizes (gang sizes 2..8 cores).
+class CholPairSize : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CholPairSize, ReconstructsBothMatrices) {
+  const uint32_t n = GetParam();
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Chol_pair chol(m, alloc, n, 1);
+
+  Rng rng(n);
+  std::vector<std::vector<ref::cd>> gs;
+  for (uint32_t w = 0; w < 2; ++w) {
+    std::vector<ref::cd> a(size_t{n} * 2 * n);
+    for (auto& v : a) v = rng.cnormal() * 0.08;
+    auto g = ref::gram(a, 2 * n, n);
+    for (uint32_t i = 0; i < n; ++i) g[i * n + i] += 0.03;
+    std::vector<cq15> gq(g.size());
+    for (size_t i = 0; i < g.size(); ++i) gq[i] = common::to_cq15(g[i]);
+    chol.set_g(0, w, gq);
+    gs.push_back(std::move(g));
+  }
+  chol.run();
+  for (uint32_t w = 0; w < 2; ++w) {
+    const auto l = to_cd(chol.l(0, w));
+    double worst = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        ref::cd acc{0, 0};
+        for (uint32_t k = 0; k < n; ++k) {
+          acc += l[i * n + k] * std::conj(l[j * n + k]);
+        }
+        worst = std::max(worst, std::abs(acc - gs[w][i * n + j]));
+      }
+    }
+    EXPECT_LT(worst, 8e-3) << "n=" << n << " which=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholPairSize, ::testing::Values(8, 12, 16, 24, 32));
+
+// MMM window rectangles beyond the three paper variants.
+class MmmWindowShape
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(MmmWindowShape, AnyWindowShapeIsCorrect) {
+  const auto [wr, wc] = GetParam();
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  const kernels::Mmm_dims d{12, 8, 20};
+  kernels::Mmm mmm(m, alloc, d, wr, wc);
+  const auto a = random_signal(d.m * d.k, 1);
+  const auto b = random_signal(d.k * d.p, 2);
+  mmm.set_a(a);
+  mmm.set_b(b);
+  mmm.run_parallel();
+  const auto want = ref::matmul(to_cd(a), to_cd(b), d.m, d.k, d.p);
+  EXPECT_GT(ref::sqnr_db(want, to_cd(mmm.c())), 35.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MmmWindowShape,
+                         ::testing::Values(std::pair{1u, 1u}, std::pair{1u, 4u},
+                                           std::pair{3u, 2u},
+                                           std::pair{2u, 3u}));
+
+// --- invalid configurations are rejected, not silently miscomputed -------
+
+TEST(KernelConfigsDeathTest, RejectsBadShapes) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const auto cfg = arch::Cluster_config::minipool();
+  EXPECT_DEATH(
+      {
+        sim::Machine m(cfg);
+        arch::L1_alloc alloc(m.config());
+        kernels::Fft_parallel fft(m, alloc, 128, 1, 1);  // not a power of 4
+      },
+      "power of 4");
+  EXPECT_DEATH(
+      {
+        sim::Machine m(cfg);
+        arch::L1_alloc alloc(m.config());
+        kernels::Fft_parallel fft(m, alloc, 4096, 2, 1);  // needs 512 cores
+      },
+      "more cores");
+  EXPECT_DEATH(
+      {
+        sim::Machine m(cfg);
+        arch::L1_alloc alloc(m.config());
+        kernels::Mmm mmm(m, alloc, {8, 8, 8}, 5, 4);  // window too tall
+      },
+      "window");
+  EXPECT_DEATH(
+      {
+        sim::Machine m(cfg);
+        arch::L1_alloc alloc(m.config());
+        kernels::Chol_pair chol(m, alloc, 4, 1);  // pair kernel needs n >= 8
+      },
+      "pair");
+}
+
+}  // namespace

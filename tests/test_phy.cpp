@@ -1,0 +1,157 @@
+// PHY substrate tests: QAM round trips, channel statistics, codebook
+// orthogonality, reference FFT, and the end-to-end golden receiver.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "phy/qam.h"
+#include "phy/uplink.h"
+
+namespace {
+
+using namespace pp;
+using common::Rng;
+using phy::cd;
+using phy::Qam;
+
+class QamRoundTrip : public ::testing::TestWithParam<Qam> {};
+
+TEST_P(QamRoundTrip, ModDemodIsIdentity) {
+  const Qam q = GetParam();
+  Rng rng(static_cast<uint64_t>(q));
+  std::vector<uint8_t> bits(240 * phy::qam_bits(q));
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+  const auto syms = phy::qam_modulate(q, bits);
+  EXPECT_EQ(phy::qam_demodulate(q, syms), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QamRoundTrip,
+                         ::testing::Values(Qam::qpsk, Qam::qam16, Qam::qam64,
+                                           Qam::qam256));
+
+TEST(Qam, UnitAveragePower) {
+  for (Qam q : {Qam::qpsk, Qam::qam16, Qam::qam64, Qam::qam256}) {
+    const auto pts = phy::qam_constellation(q);
+    double p = 0.0;
+    for (const auto& v : pts) p += std::norm(v);
+    EXPECT_NEAR(p / pts.size(), 1.0, 1e-9);
+  }
+}
+
+TEST(Qam, GrayNeighborsDifferInOneBit) {
+  const auto pts = phy::qam_constellation(Qam::qam16);
+  // Points adjacent on the I axis must differ in exactly one bit.
+  for (size_t a = 0; a < pts.size(); ++a) {
+    for (size_t b = 0; b < pts.size(); ++b) {
+      const bool i_neighbor =
+          std::abs(std::abs(pts[a].real() - pts[b].real()) -
+                   2.0 / std::sqrt(10.0)) < 1e-9 &&
+          std::abs(pts[a].imag() - pts[b].imag()) < 1e-9;
+      if (!i_neighbor) continue;
+      const auto ba = phy::qam_demodulate(Qam::qam16, {pts[a]});
+      const auto bb = phy::qam_demodulate(Qam::qam16, {pts[b]});
+      int diff = 0;
+      for (size_t i = 0; i < ba.size(); ++i) diff += ba[i] != bb[i];
+      EXPECT_EQ(diff, 1);
+    }
+  }
+}
+
+TEST(RefFft, MatchesDft) {
+  Rng rng(5);
+  std::vector<ref::cd> x(128);
+  for (auto& v : x) v = rng.cnormal();
+  const auto a = ref::fft(x);
+  const auto b = ref::dft(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(RefFft, IfftInverts) {
+  Rng rng(6);
+  std::vector<ref::cd> x(256);
+  for (auto& v : x) v = rng.cnormal();
+  const auto y = ref::fft(ref::ifft(x));
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Channel, RayleighUnitVarianceAcrossRealizations) {
+  Rng rng(7);
+  double acc = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    phy::Channel ch(phy::Channel_config{64, 4, 2, 16, 1.0, 0.0}, rng);
+    for (uint32_t sc = 0; sc < 64; sc += 16) {
+      for (uint32_t r = 0; r < 4; ++r) {
+        for (uint32_t l = 0; l < 2; ++l) {
+          acc += std::norm(ch.h(sc, r, l));
+          ++n;
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(acc / n, 1.0, 0.1);
+}
+
+TEST(Channel, CoherenceBlocksAreConstant) {
+  Rng rng(8);
+  phy::Channel ch(phy::Channel_config{64, 2, 1, 16, 1.0, 0.0}, rng);
+  EXPECT_EQ(ch.h(0, 0, 0), ch.h(15, 0, 0));
+  EXPECT_NE(ch.h(0, 0, 0), ch.h(16, 0, 0));
+}
+
+TEST(Codebook, ColumnsOrthonormal) {
+  const auto b = phy::dft_codebook(8, 4);
+  for (uint32_t c1 = 0; c1 < 4; ++c1) {
+    for (uint32_t c2 = 0; c2 < 4; ++c2) {
+      cd acc{0, 0};
+      for (uint32_t r = 0; r < 8; ++r) {
+        acc += std::conj(b[r * 4 + c1]) * b[r * 4 + c2];
+      }
+      EXPECT_NEAR(std::abs(acc), c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(GoldenReceiver, RecoversAllBitsAtHighSnr) {
+  phy::Uplink_config cfg;
+  cfg.sigma2 = 1e-8;
+  cfg.seed = 42;
+  phy::Uplink_scenario sc(cfg);
+  const auto res = phy::golden_receive(sc);
+  EXPECT_EQ(res.ber, 0.0);
+  EXPECT_LT(res.evm, 0.05);
+  EXPECT_LT(res.channel_mse, 1e-6);
+}
+
+TEST(GoldenReceiver, NoiseEstimateTracksTrueSigma) {
+  phy::Uplink_config cfg;
+  cfg.sigma2 = 4e-4;
+  cfg.seed = 43;
+  phy::Uplink_scenario sc(cfg);
+  const auto res = phy::golden_receive(sc);
+  // NE sees the beam-domain noise (orthonormal codebook preserves variance).
+  EXPECT_GT(res.sigma2_hat, cfg.sigma2 * 0.3);
+  EXPECT_LT(res.sigma2_hat, cfg.sigma2 * 3.0);
+}
+
+TEST(GoldenReceiver, HigherOrderQamNeedsMoreSnr) {
+  phy::Uplink_config cfg;
+  cfg.qam = Qam::qam256;
+  cfg.sigma2 = 1e-8;
+  cfg.seed = 44;
+  phy::Uplink_scenario sc(cfg);
+  EXPECT_EQ(phy::golden_receive(sc).ber, 0.0);
+
+  // At heavy noise, 256-QAM must show errors.
+  cfg.sigma2 = 3e-2;
+  cfg.seed = 45;
+  phy::Uplink_scenario noisy(cfg);
+  EXPECT_GT(phy::golden_receive(noisy).ber, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Property-based tests: simulator determinism, DSP invariants (Parseval,
+// time-shift), randomized barrier stress, and seed sweeps over the kernels.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "kernels/cholesky.h"
+#include "kernels/fft.h"
+#include "kernels/mmm.h"
+#include "sim/barrier.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+using common::Rng;
+
+std::vector<cq15> random_signal(uint32_t n, uint64_t seed, double amp = 0.25) {
+  Rng rng(seed);
+  std::vector<cq15> x(n);
+  for (auto& v : x) v = common::to_cq15(rng.cnormal() * amp);
+  return x;
+}
+
+std::vector<ref::cd> to_cd(const std::vector<cq15>& x) {
+  std::vector<ref::cd> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = common::to_cd(x[i]);
+  return y;
+}
+
+// --- determinism -------------------------------------------------------
+
+// The machine is fully deterministic: two identical runs give identical
+// cycle counts and stall breakdowns.
+TEST(Properties, SimulationIsDeterministic) {
+  auto run_once = [] {
+    sim::Machine m(arch::Cluster_config::minipool());
+    arch::L1_alloc alloc(m.config());
+    kernels::Fft_parallel fft(m, alloc, 256, 1);
+    fft.set_input(0, 0, random_signal(256, 77));
+    return fft.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instrs, b.instrs);
+  EXPECT_EQ(a.stall, b.stall);
+}
+
+// --- FFT invariants over seed sweeps ------------------------------------
+
+class FftSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FftSeedSweep, ParsevalHolds) {
+  const uint32_t n = 64;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Fft_parallel fft(m, alloc, n, 1);
+  const auto x = random_signal(n, GetParam());
+  fft.set_input(0, 0, x);
+  fft.run();
+  const auto y = to_cd(fft.output(0, 0));
+  // Kernel computes FFT/N: energy(x)/N == N * energy(y)  (tolerance for Q15).
+  double ex = 0, ey = 0;
+  for (const auto& v : to_cd(x)) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey * n, ex, 0.05 * ex + 1e-3) << "seed " << GetParam();
+}
+
+TEST_P(FftSeedSweep, TimeShiftIsPhaseRamp) {
+  const uint32_t n = 64;
+  const uint32_t shift = 5;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Fft_parallel a(m, alloc, n, 1), b(m, alloc, n, 1);
+
+  const auto x = random_signal(n, GetParam() + 1000);
+  std::vector<cq15> xs(n);
+  for (uint32_t i = 0; i < n; ++i) xs[i] = x[(i + shift) % n];
+  a.set_input(0, 0, x);
+  b.set_input(0, 0, xs);
+  a.run();
+  b.run();
+  const auto ya = to_cd(a.output(0, 0));
+  const auto yb = to_cd(b.output(0, 0));
+  for (uint32_t k = 0; k < n; ++k) {
+    const double ang = 2.0 * M_PI * k * shift / n;
+    const ref::cd rot{std::cos(ang), std::sin(ang)};
+    EXPECT_NEAR(std::abs(yb[k] - ya[k] * rot), 0.0, 6e-3)
+        << "seed " << GetParam() << " bin " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- MMM algebraic properties -------------------------------------------
+
+class MmmSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MmmSeedSweep, MatchesReference) {
+  const uint32_t n = 16;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Mmm mmm(m, alloc, kernels::Mmm_dims{n, n, n});
+  const auto a = random_signal(n * n, GetParam() * 3 + 1);
+  const auto b = random_signal(n * n, GetParam() * 3 + 2);
+  mmm.set_a(a);
+  mmm.set_b(b);
+  mmm.run_parallel();
+  const auto want = ref::matmul(to_cd(a), to_cd(b), n, n, n);
+  EXPECT_GT(ref::sqnr_db(want, to_cd(mmm.c())), 35.0) << GetParam();
+}
+
+TEST_P(MmmSeedSweep, ZeroTimesAnythingIsZero) {
+  const uint32_t n = 8;
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Mmm mmm(m, alloc, kernels::Mmm_dims{n, n, n});
+  mmm.set_a(std::vector<cq15>(n * n, cq15{}));
+  mmm.set_b(random_signal(n * n, GetParam()));
+  mmm.run_parallel();
+  for (const auto& v : mmm.c()) EXPECT_EQ(v, cq15{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmmSeedSweep, ::testing::Values(4, 9, 16, 25));
+
+// --- Cholesky sweep -------------------------------------------------------
+
+class CholSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CholSeedSweep, DiagonalRealPositive) {
+  const uint32_t n = 8;
+  Rng rng(GetParam());
+  std::vector<ref::cd> a(size_t{n} * 2 * n);
+  for (auto& v : a) v = rng.cnormal() * 0.1;
+  auto g = ref::gram(a, 2 * n, n);
+  for (uint32_t i = 0; i < n; ++i) g[i * n + i] += 0.05;
+  std::vector<cq15> gq(g.size());
+  for (size_t i = 0; i < g.size(); ++i) gq[i] = common::to_cq15(g[i]);
+
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+  kernels::Chol_serial chol(m, alloc, n, 1);
+  chol.set_g(0, gq);
+  chol.run();
+  const auto l = chol.l(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_GT(l[i * n + i].re, 0) << "seed " << GetParam();
+    EXPECT_EQ(l[i * n + i].im, 0);
+    for (uint32_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(l[i * n + j], cq15{});  // strictly lower triangular
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- randomized barrier stress ------------------------------------------
+
+// Random per-phase workloads on random gang partitions never deadlock and
+// never let a core run ahead of its gang.
+class BarrierStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BarrierStress, RandomWorkloadsStaySynchronized) {
+  const auto cfg = arch::Cluster_config::minipool();
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+  Rng rng(GetParam());
+
+  // Random gang size dividing the cluster.
+  const uint32_t sizes[] = {2, 4, 8, 16};
+  const uint32_t gang = sizes[rng.uniform_int(4)];
+  const uint32_t n_gangs = cfg.n_cores() / gang;
+  const uint32_t phases = 8;
+
+  std::vector<sim::Barrier> bars;
+  for (uint32_t g = 0; g < n_gangs; ++g) {
+    std::vector<arch::core_id> cs(gang);
+    std::iota(cs.begin(), cs.end(), g * gang);
+    bars.push_back(sim::Barrier::create(alloc, cfg, std::move(cs)));
+  }
+
+  // phase_done[g][p] = number of gang cores that completed phase p.
+  static std::vector<std::vector<uint32_t>> entered;
+  entered.assign(n_gangs, std::vector<uint32_t>(phases + 1, 0));
+
+  struct Body {
+    static sim::Prog prog(sim::Core& c, sim::Barrier* b, uint32_t g,
+                          uint32_t gang, uint32_t phases, uint32_t seed) {
+      Rng local(seed ^ c.id);
+      for (uint32_t p = 0; p < phases; ++p) {
+        // Everyone must still be in the same phase when working.
+        EXPECT_EQ(entered[g][p + 1], 0u) << "core ran ahead of its gang";
+        c.alu(1 + local.uniform_int(60));
+        ++entered[g][p];
+        co_await sim::barrier_wait(c, *b);
+        // After the barrier, the whole gang finished the phase.
+        EXPECT_EQ(entered[g][p], gang);
+      }
+      ++entered[g][phases];
+    }
+  };
+
+  std::vector<sim::Machine::Launch> l;
+  for (arch::core_id c = 0; c < cfg.n_cores(); ++c) {
+    l.push_back({c, Body::prog(m.core(c), &bars[c / gang], c / gang, gang,
+                               phases, static_cast<uint32_t>(GetParam()))});
+  }
+  m.run_programs("stress", std::move(l));
+  for (uint32_t g = 0; g < n_gangs; ++g) {
+    EXPECT_EQ(entered[g][phases], gang);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarrierStress,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// --- stat conservation across every kernel -------------------------------
+
+TEST(Properties, StatConservationAcrossKernels) {
+  // For any kernel: instrs + all stalls == cores * cycles.
+  sim::Machine m(arch::Cluster_config::minipool());
+  arch::L1_alloc alloc(m.config());
+
+  kernels::Fft_parallel fft(m, alloc, 64, 4);
+  for (uint32_t i = 0; i < 4; ++i) fft.set_input(i, 0, random_signal(64, i));
+  kernels::Mmm mmm(m, alloc, kernels::Mmm_dims{16, 16, 16});
+  mmm.set_a(random_signal(256, 1));
+  mmm.set_b(random_signal(256, 2));
+
+  for (const auto& r : {fft.run(), mmm.run_parallel()}) {
+    uint64_t total = r.instrs;
+    for (auto s : r.stall) total += s;
+    EXPECT_EQ(total, r.core_cycles()) << r.label;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+// Barrier and wake-up trigger tests: full-cluster and partial barriers,
+// granularity selection, independence of concurrent subset barriers, and the
+// safety property that no core passes a barrier before all arrive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/barrier.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace pp;
+using sim::Barrier;
+using sim::Core;
+using sim::Machine;
+using sim::Prog;
+using sim::Stall;
+using sim::Wake_set;
+
+arch::Cluster_config cfg16() { return arch::Cluster_config::minipool(); }
+
+// --- Wake_set granularity selection --------------------------------------
+
+TEST(WakeSet, FullClusterIsBroadcast) {
+  const auto cfg = cfg16();
+  std::vector<arch::core_id> all(cfg.n_cores());
+  std::iota(all.begin(), all.end(), 0);
+  const auto w = Wake_set::make(cfg, all);
+  EXPECT_EQ(w.kind, Wake_set::Kind::all);
+  EXPECT_EQ(w.n_csr_writes(), 1u);
+  EXPECT_EQ(w.resolve(cfg).size(), cfg.n_cores());
+}
+
+TEST(WakeSet, WholeGroupUsesGroupCsr) {
+  const auto cfg = cfg16();
+  const uint32_t cpg = cfg.tiles_per_group * cfg.cores_per_tile;
+  std::vector<arch::core_id> g1(cpg);
+  std::iota(g1.begin(), g1.end(), cpg);  // group 1
+  const auto w = Wake_set::make(cfg, g1);
+  EXPECT_EQ(w.kind, Wake_set::Kind::groups);
+  EXPECT_EQ(w.n_csr_writes(), 1u);
+  const auto r = w.resolve(cfg);
+  EXPECT_EQ(r.size(), cpg);
+  EXPECT_EQ(r.front(), cpg);
+}
+
+TEST(WakeSet, WholeTilesUseTileCsrPerGroup) {
+  const auto cfg = cfg16();
+  // Tile 0 (group 0) and tile 2 (group 1): one tile-CSR write per group.
+  std::vector<arch::core_id> cores;
+  for (uint32_t i = 0; i < cfg.cores_per_tile; ++i) cores.push_back(i);
+  for (uint32_t i = 0; i < cfg.cores_per_tile; ++i) {
+    cores.push_back(2 * cfg.cores_per_tile + i);
+  }
+  std::sort(cores.begin(), cores.end());
+  const auto w = Wake_set::make(cfg, cores);
+  EXPECT_EQ(w.kind, Wake_set::Kind::tiles);
+  EXPECT_EQ(w.n_csr_writes(), 2u);
+  EXPECT_EQ(w.resolve(cfg).size(), cores.size());
+}
+
+TEST(WakeSet, IrregularSubsetFallsBackToPerCore) {
+  const auto cfg = cfg16();
+  std::vector<arch::core_id> cores = {0, 5, 9};
+  const auto w = Wake_set::make(cfg, cores);
+  EXPECT_EQ(w.kind, Wake_set::Kind::cores);
+  EXPECT_EQ(w.n_csr_writes(), 3u);
+  EXPECT_EQ(w.resolve(cfg), cores);
+}
+
+// --- barrier semantics -----------------------------------------------------
+
+// Property: no core executes post-barrier work before every core has
+// executed its pre-barrier work.
+TEST(Barrier, NoCorePassesEarly) {
+  Machine m(cfg16());
+  arch::L1_alloc alloc(m.config());
+  const auto& cfg = m.config();
+
+  std::vector<arch::core_id> all(cfg.n_cores());
+  std::iota(all.begin(), all.end(), 0);
+  Barrier bar = Barrier::create(alloc, cfg, all);
+
+  // Each core records the local time it reached/left the barrier.
+  static std::vector<uint64_t> reach, leave;
+  reach.assign(cfg.n_cores(), 0);
+  leave.assign(cfg.n_cores(), 0);
+
+  auto prog = [](Core& c, Barrier* b) -> Prog {
+    // Unbalanced pre-work: core i works i*10 cycles.
+    c.alu(1 + 10 * c.id);
+    reach[c.id] = c.t;
+    co_await sim::barrier_wait(c, *b);
+    leave[c.id] = c.t;
+  };
+  std::vector<Machine::Launch> l;
+  for (auto c : all) l.push_back({c, prog(m.core(c), &bar)});
+  auto r = m.run_programs("barrier", std::move(l));
+
+  const uint64_t last_reach = *std::max_element(reach.begin(), reach.end());
+  for (auto c : all) EXPECT_GE(leave[c], last_reach);
+  // Straggler imbalance shows up as WFI stalls.
+  EXPECT_GT(r.stall[size_t(Stall::wfi)], 0u);
+  // Barrier counter is reset for reuse.
+  EXPECT_EQ(m.mem().peek(bar.counter_addr()), 0u);
+}
+
+// A barrier can be reused repeatedly (counter reset works).
+TEST(Barrier, ReusableAcrossPhases) {
+  Machine m(cfg16());
+  arch::L1_alloc alloc(m.config());
+  const auto& cfg = m.config();
+  std::vector<arch::core_id> all(cfg.n_cores());
+  std::iota(all.begin(), all.end(), 0);
+  Barrier bar = Barrier::create(alloc, cfg, all);
+
+  static std::vector<int> phase_count;
+  phase_count.assign(cfg.n_cores(), 0);
+
+  auto prog = [](Core& c, Barrier* b) -> Prog {
+    for (int phase = 0; phase < 5; ++phase) {
+      c.alu(1 + (c.id * 7 + phase * 13) % 23);
+      co_await sim::barrier_wait(c, *b);
+      ++phase_count[c.id];
+    }
+  };
+  std::vector<Machine::Launch> l;
+  for (auto c : all) l.push_back({c, prog(m.core(c), &bar)});
+  m.run_programs("barrier5", std::move(l));
+  for (auto c : all) EXPECT_EQ(phase_count[c], 5);
+}
+
+// Two disjoint subset barriers synchronize independently: a stalled group B
+// must not block group A's progress.
+TEST(Barrier, PartialBarriersAreIndependent) {
+  Machine m(cfg16());
+  arch::L1_alloc alloc(m.config());
+  const auto& cfg = m.config();
+
+  // Group A: tile 0 cores; group B: tile 1 cores.
+  std::vector<arch::core_id> a, b;
+  for (uint32_t i = 0; i < cfg.cores_per_tile; ++i) {
+    a.push_back(i);
+    b.push_back(cfg.cores_per_tile + i);
+  }
+  Barrier bar_a = Barrier::create(alloc, cfg, a);
+  Barrier bar_b = Barrier::create(alloc, cfg, b);
+
+  static uint64_t a_done, b_done;
+  auto prog = [](Core& c, Barrier* bar, uint32_t work, uint64_t* done) -> Prog {
+    for (int phase = 0; phase < 3; ++phase) {
+      c.alu(work);
+      co_await sim::barrier_wait(c, *bar);
+    }
+    *done = std::max(*done, c.t);
+  };
+  a_done = b_done = 0;
+  std::vector<Machine::Launch> l;
+  for (auto c : a) l.push_back({c, prog(m.core(c), &bar_a, 5, &a_done)});
+  for (auto c : b) l.push_back({c, prog(m.core(c), &bar_b, 500, &b_done)});
+  m.run_programs("partial", std::move(l));
+  // Fast group A finished long before slow group B.
+  EXPECT_LT(a_done, b_done / 2);
+}
+
+// Single-participant barrier is a no-op.
+TEST(Barrier, SingleCoreBarrierIsFree) {
+  Machine m(cfg16());
+  arch::L1_alloc alloc(m.config());
+  Barrier bar = Barrier::create(alloc, m.config(), {0});
+  auto prog = [](Core& c, Barrier* b) -> Prog {
+    co_await sim::barrier_wait(c, *b);
+    co_await sim::barrier_wait(c, *b);
+  };
+  std::vector<Machine::Launch> l;
+  l.push_back({0, prog(m.core(0), &bar)});
+  auto r = m.run_programs("solo", std::move(l));
+  EXPECT_EQ(r.instrs, 0u);
+}
+
+// Many concurrent tile-aligned barriers (one per tile) all complete; this is
+// the pattern the replicated FFT/Cholesky kernels rely on.
+TEST(Barrier, OneBarrierPerTile) {
+  Machine m(cfg16());
+  arch::L1_alloc alloc(m.config());
+  const auto& cfg = m.config();
+
+  std::vector<Barrier> bars;
+  for (uint32_t tl = 0; tl < cfg.n_tiles(); ++tl) {
+    std::vector<arch::core_id> cs;
+    for (uint32_t i = 0; i < cfg.cores_per_tile; ++i) {
+      cs.push_back(tl * cfg.cores_per_tile + i);
+    }
+    bars.push_back(Barrier::create(alloc, cfg, cs));
+  }
+
+  static uint32_t total_phases;
+  total_phases = 0;
+  auto prog = [](Core& c, Barrier* b) -> Prog {
+    for (int phase = 0; phase < 4; ++phase) {
+      c.alu(1 + (c.id % 5));
+      co_await sim::barrier_wait(c, *b);
+    }
+    total_phases += 4;
+  };
+  std::vector<Machine::Launch> l;
+  for (arch::core_id c = 0; c < cfg.n_cores(); ++c) {
+    l.push_back({c, prog(m.core(c), &bars[cfg.tile_of_core(c)])});
+  }
+  m.run_programs("per-tile", std::move(l));
+  EXPECT_EQ(total_phases, cfg.n_cores() * 4);
+}
+
+// Tree (log) barrier: no core passes early, reusable across phases, and the
+// arrival path is cheaper than the flat counter on a full cluster.
+TEST(TreeBarrier, CorrectReusableAndFasterThanFlat) {
+  // The log barrier pays extra levels, which only amortize at scale: use
+  // the full MemPool configuration (flat arrival serializes 256 amos).
+  const auto cfg = arch::Cluster_config::mempool();
+
+  auto run_phases = [&](bool tree) {
+    Machine m(cfg);
+    arch::L1_alloc alloc(m.config());
+    sim::Tree_barrier tbar = sim::Tree_barrier::create(alloc, cfg);
+    std::vector<arch::core_id> all(cfg.n_cores());
+    std::iota(all.begin(), all.end(), 0);
+    Barrier fbar = Barrier::create(alloc, cfg, all);
+
+    static std::vector<uint64_t> reach;
+    static uint64_t last_reach;
+    reach.assign(cfg.n_cores(), 0);
+    last_reach = 0;
+
+    struct Body {
+      static sim::Prog prog(Core& c, sim::Tree_barrier* tb, Barrier* fb,
+                            bool tree) {
+        for (int ph = 0; ph < 4; ++ph) {
+          c.alu(1 + 13 * (c.id % 5));
+          reach[c.id] = c.t;
+          last_reach = std::max(last_reach, c.t);
+          if (tree) {
+            co_await sim::tree_barrier_wait(c, *tb);
+          } else {
+            co_await sim::barrier_wait(c, *fb);
+          }
+          EXPECT_GE(c.t, reach[c.id]);
+        }
+      }
+    };
+    std::vector<Machine::Launch> l;
+    for (arch::core_id c = 0; c < cfg.n_cores(); ++c) {
+      l.push_back({c, Body::prog(m.core(c), &tbar, &fbar, tree)});
+    }
+    const auto r = m.run_programs(tree ? "tree" : "flat", std::move(l));
+    // Nobody may leave the final barrier before the last arrival.
+    return r.cycles;
+  };
+
+  const uint64_t tree_cycles = run_phases(true);
+  const uint64_t flat_cycles = run_phases(false);
+  EXPECT_LT(tree_cycles, flat_cycles);
+}
+
+// Hierarchical trigger cost: waking a whole group costs one CSR write while
+// waking the same cores individually costs one write per core; the barrier
+// epilogue is correspondingly cheaper.
+TEST(Barrier, GroupTriggerCheaperThanPerCore) {
+  const auto cfg = cfg16();
+  const uint32_t cpg = cfg.tiles_per_group * cfg.cores_per_tile;
+  std::vector<arch::core_id> g0(cpg);
+  std::iota(g0.begin(), g0.end(), 0);
+
+  const auto w_group = Wake_set::make(cfg, g0);
+  EXPECT_EQ(w_group.n_csr_writes(), 1u);
+
+  // Force per-core kind for comparison.
+  Wake_set w_cores;
+  w_cores.kind = Wake_set::Kind::cores;
+  w_cores.cores = g0;
+  EXPECT_EQ(w_cores.n_csr_writes(), cpg);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Cluster topology and address-map invariants for both published
+// configurations and the test configuration.
+#include <gtest/gtest.h>
+
+#include "arch/address_map.h"
+#include "arch/topology.h"
+
+namespace {
+
+using namespace pp::arch;
+
+TEST(Topology, MempoolDimensions) {
+  const auto c = Cluster_config::mempool();
+  EXPECT_EQ(c.n_cores(), 256u);
+  EXPECT_EQ(c.n_groups, 4u);
+  EXPECT_EQ(c.n_tiles(), 64u);
+  EXPECT_EQ(c.banks_per_tile(), 16u);
+  EXPECT_EQ(c.n_banks(), 1024u);
+  EXPECT_EQ(c.l1_words() * 4, 1024u * 1024u);  // 1 MiB
+}
+
+TEST(Topology, TerapoolDimensions) {
+  const auto c = Cluster_config::terapool();
+  EXPECT_EQ(c.n_cores(), 1024u);
+  EXPECT_EQ(c.n_groups, 8u);
+  EXPECT_EQ(c.banks_per_tile(), 32u);
+  EXPECT_EQ(c.n_banks(), 4096u);
+  EXPECT_EQ(c.l1_words() * 4, 4u * 1024u * 1024u);  // 4 MiB
+}
+
+TEST(Topology, LocalityClassification) {
+  const auto c = Cluster_config::mempool();
+  // Core 0, tile 0, group 0.
+  EXPECT_EQ(c.locality(0, 0), Locality::tile);
+  EXPECT_EQ(c.locality(0, c.banks_per_tile() - 1), Locality::tile);
+  EXPECT_EQ(c.locality(0, c.banks_per_tile()), Locality::group);
+  const bank_id remote = c.tiles_per_group * c.banks_per_tile();
+  EXPECT_EQ(c.locality(0, remote), Locality::remote);
+  EXPECT_EQ(c.load_use_latency(Locality::tile), 1u);
+  EXPECT_EQ(c.load_use_latency(Locality::group), 3u);
+  EXPECT_EQ(c.load_use_latency(Locality::remote), 5u);
+}
+
+TEST(Topology, EveryCoreHasFourLocalBanks) {
+  for (const auto& c :
+       {Cluster_config::mempool(), Cluster_config::terapool()}) {
+    for (core_id id = 0; id < c.n_cores(); ++id) {
+      const bank_id b0 = c.first_local_bank(id);
+      for (uint32_t i = 0; i < c.banks_per_core; ++i) {
+        EXPECT_EQ(c.locality(id, b0 + i), Locality::tile);
+        EXPECT_EQ(c.tile_of_bank(b0 + i), c.tile_of_core(id));
+      }
+    }
+  }
+}
+
+TEST(Topology, LocalBankRangesAreDisjoint) {
+  const auto c = Cluster_config::terapool();
+  std::vector<int> owner(c.n_banks(), -1);
+  for (core_id id = 0; id < c.n_cores(); ++id) {
+    for (uint32_t i = 0; i < c.banks_per_core; ++i) {
+      const bank_id b = c.first_local_bank(id) + i;
+      EXPECT_EQ(owner[b], -1);
+      owner[b] = static_cast<int>(id);
+    }
+  }
+  for (int o : owner) EXPECT_NE(o, -1);  // all banks covered
+}
+
+TEST(AddressMap, InterleavedRoundTrip) {
+  const auto c = Cluster_config::minipool();
+  Address_map map(c);
+  for (addr_t a = 0; a < c.n_banks() * 4; ++a) {
+    EXPECT_EQ(map.bank_word(map.bank_of(a), map.row_of(a)), a);
+  }
+}
+
+TEST(AddressMap, CoreWordIsLocal) {
+  const auto c = Cluster_config::minipool();
+  Address_map map(c);
+  for (core_id id = 0; id < c.n_cores(); ++id) {
+    for (uint32_t s = 0; s < 16; ++s) {
+      const addr_t a = map.core_word(id, 3, s);
+      EXPECT_EQ(c.locality(id, map.bank_of(a)), Locality::tile) << id << " " << s;
+    }
+  }
+}
+
+TEST(L1Alloc, DisjointAllocations) {
+  const auto c = Cluster_config::minipool();
+  L1_alloc alloc(c);
+  const addr_t a = alloc.alloc(100);
+  const addr_t b = alloc.alloc(100);
+  const uint32_t rows = alloc.alloc_rows(2);
+  // Interleaved arrays occupy whole rows; no overlap between allocations.
+  EXPECT_GE(b, a + c.n_banks());  // a's rounded row range ends before b
+  EXPECT_GE(rows * c.n_banks(), b + 100);
+}
+
+TEST(L1Alloc, ScratchWordsShareRows) {
+  const auto c = Cluster_config::minipool();
+  L1_alloc alloc(c);
+  const uint32_t before = alloc.rows_used();
+  // One scratch word in every bank costs exactly one row in total.
+  for (bank_id b = 0; b < c.n_banks(); ++b) alloc.alloc_word(b);
+  EXPECT_EQ(alloc.rows_used(), before + 1);
+  // A second word in one bank starts a second shared row.
+  alloc.alloc_word(0);
+  EXPECT_EQ(alloc.rows_used(), before + 2);
+}
+
+}  // namespace
