@@ -3,7 +3,6 @@
 // the other, flattening the staircase; without it, both matrices load the
 // same cores and synchronization idle time grows.
 #include "bench/bench_util.h"
-#include "kernels/cholesky.h"
 
 int main() {
   using namespace pp;
@@ -17,17 +16,11 @@ int main() {
                           arch::Cluster_config::terapool()}) {
     Table t(bench::ipc_header());
     for (const bool mirrored : {true, false}) {
-      sim::Machine m(cfg);
-      arch::L1_alloc alloc(m.config());
-      const uint32_t n_pairs = cfg.n_cores() / 8;
-      kernels::Chol_pair chol(m, alloc, 32, n_pairs, mirrored);
-      for (uint32_t p = 0; p < n_pairs; ++p) {
-        chol.set_g(p, 0, bench::random_spd(32, 2 * p));
-        chol.set_g(p, 1, bench::random_spd(32, 2 * p + 1));
-      }
+      const auto rep = bench::run_kernel(
+          cfg, "chol.pair",
+          runtime::Params().set("n", 32u).set("mirrored", mirrored));
       t.add_row(bench::ipc_row(
-          cfg.name + (mirrored ? " mirrored (paper)" : " unmirrored"),
-          chol.run()));
+          cfg.name + (mirrored ? " mirrored (paper)" : " unmirrored"), rep));
     }
     t.print();
     std::printf("\n");

@@ -4,7 +4,7 @@
 // the full use case with a fused radix-4 butterfly instruction pair enabled
 // and reports the slot time against the 0.5 ms target.
 #include "bench/bench_util.h"
-#include "pusch/chain_sim.h"
+#include "pusch/use_case_rollup.h"
 
 int main() {
   using namespace pp;

@@ -2,7 +2,6 @@
 // (8 loads per 16 complex MACs, filling all 30 programmable registers)
 // against 4x2 (12 loads / 16 MACs-equivalent) and 2x2 (16 loads / 16 MACs).
 #include "bench/bench_util.h"
-#include "kernels/mmm.h"
 
 int main() {
   using namespace pp;
@@ -13,21 +12,23 @@ int main() {
                 "12 (4x2) or 16 (2x2);\nlarger windows raise data reuse and "
                 "arithmetic density.");
 
-  const kernels::Mmm_dims d{256, 128, 256};
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
     Table t({"window", "cycles", "IPC", "instr/cMAC", "cMACs/cycle"});
     for (auto [wr, wc] : {std::pair{4u, 4u}, {4u, 2u}, {2u, 2u}}) {
-      sim::Machine m(cfg);
-      arch::L1_alloc alloc(m.config());
-      kernels::Mmm mmm(m, alloc, d, wr, wc);
-      mmm.set_a(bench::random_signal(size_t{d.m} * d.k, 1));
-      mmm.set_b(bench::random_signal(size_t{d.k} * d.p, 2));
-      const auto rep = mmm.run_parallel();
+      const auto r = bench::measure_kernel(
+          cfg, "mmm",
+          runtime::Params()
+              .set("m", 256u)
+              .set("k", 128u)
+              .set("p", 256u)
+              .set("wr", wr)
+              .set("wc", wc));
       t.add_row({cfg.name + " " + std::to_string(wr) + "x" + std::to_string(wc),
-                 Table::fmt(rep.cycles), Table::fmt(rep.ipc(), 2),
-                 Table::fmt(static_cast<double>(rep.instrs) / mmm.cmacs(), 2),
-                 Table::fmt(static_cast<double>(mmm.cmacs()) / rep.cycles, 1)});
+                 Table::fmt(r.rep.cycles), Table::fmt(r.rep.ipc(), 2),
+                 Table::fmt(static_cast<double>(r.rep.instrs) / r.desc.macs, 2),
+                 Table::fmt(static_cast<double>(r.desc.macs) / r.rep.cycles,
+                            1)});
     }
     t.print();
     std::printf("\n");

@@ -3,7 +3,6 @@
 // naive layout spreads inputs over the whole cluster (3-5 cycle loads plus
 // bank conflicts), which shows up as RAW/LSU stalls and lost IPC.
 #include "bench/bench_util.h"
-#include "kernels/fft.h"
 
 int main() {
   using namespace pp;
@@ -17,17 +16,15 @@ int main() {
                           arch::Cluster_config::terapool()}) {
     Table t(bench::ipc_header());
     for (const bool folded : {true, false}) {
-      sim::Machine m(cfg);
-      arch::L1_alloc alloc(m.config());
       const uint32_t n = 4096;
-      const uint32_t n_inst = cfg.n_cores() / (n / 16);
-      kernels::Fft_parallel fft(m, alloc, n, n_inst, 4, folded);
-      for (uint32_t i = 0; i < n_inst; ++i) {
-        for (uint32_t r = 0; r < 4; ++r) {
-          fft.set_input(i, r, bench::random_signal(n, 17 + i * 4 + r));
-        }
-      }
-      const auto rep = fft.run();
+      const auto rep = bench::run_kernel(
+          cfg, "fft.parallel",
+          runtime::Params()
+              .set("n", n)
+              .set("inst", cfg.n_cores() / (n / 16))
+              .set("reps", 4u)
+              .set("folded", folded),
+          17);
       t.add_row(bench::ipc_row(
           cfg.name + (folded ? " folded (paper)" : " interleaved (naive)"),
           rep));

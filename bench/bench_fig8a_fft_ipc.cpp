@@ -3,31 +3,13 @@
 // (replicated 256-point FFTs, one/four 4096-point FFTs, and 16 independent
 // 4096-point FFTs run between barriers).
 #include "bench/bench_util.h"
-#include "kernels/fft.h"
 
 namespace {
 
 using namespace pp;
 
-sim::Kernel_report run_parallel(const arch::Cluster_config& cfg, uint32_t n,
-                                uint32_t n_inst, uint32_t reps) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Fft_parallel fft(m, alloc, n, n_inst, reps);
-  for (uint32_t i = 0; i < n_inst; ++i) {
-    for (uint32_t r = 0; r < reps; ++r) {
-      fft.set_input(i, r, bench::random_signal(n, 100 + i * reps + r));
-    }
-  }
-  return fft.run();
-}
-
-sim::Kernel_report run_serial(const arch::Cluster_config& cfg, uint32_t n) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Fft_serial fft(m, alloc, n, 1);
-  fft.set_input(0, bench::random_signal(n, 7));
-  return fft.run();
+runtime::Params fft(uint32_t n, uint32_t inst, uint32_t reps) {
+  return runtime::Params().set("n", n).set("inst", inst).set("reps", reps);
 }
 
 }  // namespace
@@ -44,15 +26,25 @@ int main() {
   const auto mp = arch::Cluster_config::mempool();
   const auto tp = arch::Cluster_config::terapool();
 
-  t.add_row(bench::ipc_row("serial 256-pt (1 core)", run_serial(mp, 256)));
-  t.add_row(bench::ipc_row("serial 4096-pt (1 core)", run_serial(mp, 4096)));
+  t.add_row(bench::ipc_row(
+      "serial 256-pt (1 core)",
+      bench::run_kernel(mp, "fft.serial", runtime::Params().set("n", 256u), 7)));
+  t.add_row(bench::ipc_row(
+      "serial 4096-pt (1 core)",
+      bench::run_kernel(mp, "fft.serial", runtime::Params().set("n", 4096u), 7)));
 
-  t.add_row(bench::ipc_row("mempool  16 FFTs 256-pt", run_parallel(mp, 256, 16, 1)));
-  t.add_row(bench::ipc_row("terapool 64 FFTs 256-pt", run_parallel(tp, 256, 64, 1)));
-  t.add_row(bench::ipc_row("mempool  1 FFT 4096-pt", run_parallel(mp, 4096, 1, 1)));
-  t.add_row(bench::ipc_row("terapool 4 FFTs 4096-pt", run_parallel(tp, 4096, 4, 1)));
-  t.add_row(bench::ipc_row("mempool  1x16 FFTs 4096-pt", run_parallel(mp, 4096, 1, 16)));
-  t.add_row(bench::ipc_row("terapool 4x16 FFTs 4096-pt", run_parallel(tp, 4096, 4, 16)));
+  t.add_row(bench::ipc_row("mempool  16 FFTs 256-pt",
+                           bench::run_kernel(mp, "fft.parallel", fft(256, 16, 1))));
+  t.add_row(bench::ipc_row("terapool 64 FFTs 256-pt",
+                           bench::run_kernel(tp, "fft.parallel", fft(256, 64, 1))));
+  t.add_row(bench::ipc_row("mempool  1 FFT 4096-pt",
+                           bench::run_kernel(mp, "fft.parallel", fft(4096, 1, 1))));
+  t.add_row(bench::ipc_row("terapool 4 FFTs 4096-pt",
+                           bench::run_kernel(tp, "fft.parallel", fft(4096, 4, 1))));
+  t.add_row(bench::ipc_row("mempool  1x16 FFTs 4096-pt",
+                           bench::run_kernel(mp, "fft.parallel", fft(4096, 1, 16))));
+  t.add_row(bench::ipc_row("terapool 4x16 FFTs 4096-pt",
+                           bench::run_kernel(tp, "fft.parallel", fft(4096, 4, 16))));
   t.print();
   return 0;
 }

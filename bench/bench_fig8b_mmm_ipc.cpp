@@ -2,30 +2,24 @@
 // MACs/cycle figures the paper quotes in the text (145/134 on MemPool and
 // 558/487 on TeraPool for the regular/use-case shapes).
 #include "bench/bench_util.h"
-#include "kernels/mmm.h"
 
 namespace {
 
 using namespace pp;
 
-struct Run {
-  sim::Kernel_report rep;
-  double cmacs_per_cycle;
-};
-
-Run run(const arch::Cluster_config& cfg, kernels::Mmm_dims d, bool serial) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Mmm mmm(m, alloc, d);
-  mmm.set_a(bench::random_signal(size_t{d.m} * d.k, 1));
-  mmm.set_b(bench::random_signal(size_t{d.k} * d.p, 2));
-  const auto rep = serial ? mmm.run_serial() : mmm.run_parallel();
-  return {rep, static_cast<double>(mmm.cmacs()) / rep.cycles};
+runtime::Params mmm(uint32_t m, uint32_t k, uint32_t p, bool serial = false) {
+  runtime::Params params;
+  params.set("m", m).set("k", k).set("p", p);
+  if (serial) params.set("mode", "serial");
+  return params;
 }
 
-std::string shape(const kernels::Mmm_dims& d) {
-  return std::to_string(d.m) + "x" + std::to_string(d.k) + "x" +
-         std::to_string(d.p);
+double cmacs_per_cycle(const bench::Measured& r) {
+  return static_cast<double>(r.desc.macs) / r.rep.cycles;
+}
+
+std::string shape(uint32_t m, uint32_t k, uint32_t p) {
+  return std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(p);
 }
 
 }  // namespace
@@ -44,28 +38,26 @@ int main() {
   const auto mp = arch::Cluster_config::mempool();
   const auto tp = arch::Cluster_config::terapool();
 
-  {
-    const auto r = run(mp, {128, 128, 128}, true);
-    t.add_row(bench::ipc_row("serial 128x128x128 (1 core)", r.rep));
-  }
-  for (kernels::Mmm_dims d :
-       {kernels::Mmm_dims{128, 128, 128}, kernels::Mmm_dims{256, 128, 256}}) {
+  t.add_row(bench::ipc_row(
+      "serial 128x128x128 (1 core)",
+      bench::run_kernel(mp, "mmm", mmm(128, 128, 128, true))));
+  for (auto [m, k, p] : {std::tuple{128u, 128u, 128u}, {256u, 128u, 256u}}) {
     for (const auto& cfg : {mp, tp}) {
-      const auto r = run(cfg, d, false);
-      t.add_row(bench::ipc_row(cfg.name + " " + shape(d), r.rep));
-      macs.emplace_back(cfg.name + " " + shape(d), r.cmacs_per_cycle);
+      const auto r = bench::measure_kernel(cfg, "mmm", mmm(m, k, p));
+      t.add_row(bench::ipc_row(cfg.name + " " + shape(m, k, p), r.rep));
+      macs.emplace_back(cfg.name + " " + shape(m, k, p), cmacs_per_cycle(r));
     }
   }
   // Use-case shape: slice rows on MemPool (L1 capacity), full on TeraPool.
   {
-    const auto r = run(mp, {2048, 64, 32}, false);
+    const auto r = bench::measure_kernel(mp, "mmm", mmm(2048, 64, 32));
     t.add_row(bench::ipc_row("mempool 2x(2048x64x32)", r.rep));
-    macs.emplace_back("mempool 4096x64x32 (2 slices)", r.cmacs_per_cycle);
+    macs.emplace_back("mempool 4096x64x32 (2 slices)", cmacs_per_cycle(r));
   }
   {
-    const auto r = run(tp, {4096, 64, 32}, false);
+    const auto r = bench::measure_kernel(tp, "mmm", mmm(4096, 64, 32));
     t.add_row(bench::ipc_row("terapool 4096x64x32", r.rep));
-    macs.emplace_back("terapool 4096x64x32", r.cmacs_per_cycle);
+    macs.emplace_back("terapool 4096x64x32", cmacs_per_cycle(r));
   }
   t.print();
 

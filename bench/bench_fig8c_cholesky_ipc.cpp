@@ -2,45 +2,17 @@
 // serial baselines, batched single-core 4x4 decompositions (4 and 16 per
 // core between barriers) and fine-grained mirrored 32x32 couples.
 #include "bench/bench_util.h"
-#include "kernels/cholesky.h"
 
 namespace {
 
 using namespace pp;
 
-sim::Kernel_report run_batch(const arch::Cluster_config& cfg,
-                             uint32_t per_core) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Chol_batch chol(m, alloc, 4, per_core, cfg.n_cores());
-  for (uint32_t c = 0; c < cfg.n_cores(); ++c) {
-    const auto g = bench::random_spd(4, 50 + c);
-    for (uint32_t i = 0; i < per_core; ++i) chol.set_g(c, i, g);
-  }
-  return chol.run();
+runtime::Params batch(uint32_t per_core) {
+  return runtime::Params().set("n", 4u).set("per_core", per_core);
 }
 
-sim::Kernel_report run_pairs(const arch::Cluster_config& cfg) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  const uint32_t n_pairs = cfg.n_cores() / 8;  // 8 cores per 32x32 couple
-  kernels::Chol_pair chol(m, alloc, 32, n_pairs);
-  const auto g0 = bench::random_spd(32, 3);
-  const auto g1 = bench::random_spd(32, 4);
-  for (uint32_t p = 0; p < n_pairs; ++p) {
-    chol.set_g(p, 0, g0);
-    chol.set_g(p, 1, g1);
-  }
-  return chol.run();
-}
-
-sim::Kernel_report run_serial(const arch::Cluster_config& cfg, uint32_t n,
-                              uint32_t reps) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Chol_serial chol(m, alloc, n, reps);
-  for (uint32_t r = 0; r < reps; ++r) chol.set_g(r, bench::random_spd(n, r));
-  return chol.run();
+runtime::Params serial(uint32_t n, uint32_t reps) {
+  return runtime::Params().set("n", n).set("reps", reps);
 }
 
 }  // namespace
@@ -57,14 +29,24 @@ int main() {
   const auto tp = arch::Cluster_config::terapool();
 
   Table t(bench::ipc_header());
-  t.add_row(bench::ipc_row("serial 4x4 x16 (1 core)", run_serial(mp, 4, 16)));
-  t.add_row(bench::ipc_row("serial 32x32 (1 core)", run_serial(mp, 32, 1)));
-  t.add_row(bench::ipc_row("mempool  4x256 dec 4x4", run_batch(mp, 4)));
-  t.add_row(bench::ipc_row("terapool 4x1024 dec 4x4", run_batch(tp, 4)));
-  t.add_row(bench::ipc_row("mempool  16x256 dec 4x4", run_batch(mp, 16)));
-  t.add_row(bench::ipc_row("terapool 16x1024 dec 4x4", run_batch(tp, 16)));
-  t.add_row(bench::ipc_row("mempool  2x32 dec 32x32", run_pairs(mp)));
-  t.add_row(bench::ipc_row("terapool 2x128 dec 32x32", run_pairs(tp)));
+  t.add_row(bench::ipc_row("serial 4x4 x16 (1 core)",
+                           bench::run_kernel(mp, "chol.serial", serial(4, 16))));
+  t.add_row(bench::ipc_row("serial 32x32 (1 core)",
+                           bench::run_kernel(mp, "chol.serial", serial(32, 1))));
+  t.add_row(bench::ipc_row("mempool  4x256 dec 4x4",
+                           bench::run_kernel(mp, "chol.batch", batch(4))));
+  t.add_row(bench::ipc_row("terapool 4x1024 dec 4x4",
+                           bench::run_kernel(tp, "chol.batch", batch(4))));
+  t.add_row(bench::ipc_row("mempool  16x256 dec 4x4",
+                           bench::run_kernel(mp, "chol.batch", batch(16))));
+  t.add_row(bench::ipc_row("terapool 16x1024 dec 4x4",
+                           bench::run_kernel(tp, "chol.batch", batch(16))));
+  t.add_row(bench::ipc_row(
+      "mempool  2x32 dec 32x32",
+      bench::run_kernel(mp, "chol.pair", runtime::Params().set("n", 32u))));
+  t.add_row(bench::ipc_row(
+      "terapool 2x128 dec 32x32",
+      bench::run_kernel(tp, "chol.pair", runtime::Params().set("n", 32u))));
   t.print();
   return 0;
 }

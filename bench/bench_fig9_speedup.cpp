@@ -6,15 +6,12 @@
 // 722 for FFT / MMM / Cholesky at utilizations 0.81/0.89/0.71 and
 // 0.74/0.88/0.71.
 #include "bench/bench_util.h"
-#include "common/cli.h"
-#include "kernels/cholesky.h"
-#include "kernels/fft.h"
-#include "kernels/mmm.h"
 
 namespace {
 
 using namespace pp;
 using common::Table;
+using runtime::Params;
 
 struct Row {
   std::string name;
@@ -30,39 +27,21 @@ void add(Table& t, const Row& r) {
              Table::fmt(r.rep.ipc(), 2)});
 }
 
-uint64_t serial_fft(const arch::Cluster_config& cfg, uint32_t n, uint32_t count) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Fft_serial fft(m, alloc, n, 1);
-  fft.set_input(0, bench::random_signal(n, n));
-  return fft.run().cycles * count;
-}
-
 Row fft_row(const arch::Cluster_config& cfg, uint32_t n, uint32_t n_inst,
             uint32_t reps, const std::string& name) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Fft_parallel fft(m, alloc, n, n_inst, reps);
-  for (uint32_t i = 0; i < n_inst; ++i) {
-    for (uint32_t r = 0; r < reps; ++r) {
-      fft.set_input(i, r, bench::random_signal(n, i * 31 + r));
-    }
-  }
-  return {name, serial_fft(cfg, n, n_inst * reps), fft.run(), fft.cores_used()};
+  const auto par = bench::measure_kernel(
+      cfg, "fft.parallel",
+      Params().set("n", n).set("inst", n_inst).set("reps", reps));
+  const auto ser = bench::run_kernel(cfg, "fft.serial", Params().set("n", n));
+  return {name, ser.cycles * n_inst * reps, par.rep, par.desc.cores};
 }
 
-Row mmm_row(const arch::Cluster_config& cfg, kernels::Mmm_dims d,
-            uint32_t slices, const std::string& name) {
-  auto make = [&](bool serial) {
-    sim::Machine m(cfg);
-    arch::L1_alloc alloc(m.config());
-    kernels::Mmm mmm(m, alloc, d);
-    mmm.set_a(bench::random_signal(size_t{d.m} * d.k, 1));
-    mmm.set_b(bench::random_signal(size_t{d.k} * d.p, 2));
-    return serial ? mmm.run_serial() : mmm.run_parallel();
-  };
-  const auto rs = make(true);
-  auto rp = make(false);
+Row mmm_row(const arch::Cluster_config& cfg, uint32_t m, uint32_t k,
+            uint32_t p, uint32_t slices, const std::string& name) {
+  const Params dims = Params().set("m", m).set("k", k).set("p", p);
+  const auto rs =
+      bench::run_kernel(cfg, "mmm", Params(dims).set("mode", "serial"));
+  auto rp = bench::run_kernel(cfg, "mmm", dims);
   // Sliced runs repeat the same kernel; scale all counters coherently.
   rp.cycles *= slices;
   rp.instrs *= slices;
@@ -72,38 +51,23 @@ Row mmm_row(const arch::Cluster_config& cfg, kernels::Mmm_dims d,
 
 Row chol_batch_row(const arch::Cluster_config& cfg, uint32_t per_core,
                    const std::string& name) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
-  kernels::Chol_batch chol(m, alloc, 4, per_core, cfg.n_cores());
-  for (uint32_t c = 0; c < cfg.n_cores(); ++c) {
-    const auto g = bench::random_spd(4, c);
-    for (uint32_t i = 0; i < per_core; ++i) chol.set_g(c, i, g);
-  }
+  const auto par = bench::run_kernel(
+      cfg, "chol.batch", Params().set("n", 4u).set("per_core", per_core));
   // Serial: the same number of 4x4 decompositions on one core.
-  sim::Machine m2(cfg);
-  arch::L1_alloc alloc2(m2.config());
-  kernels::Chol_serial s(m2, alloc2, 4, 16);
-  for (uint32_t i = 0; i < 16; ++i) s.set_g(i, bench::random_spd(4, i));
+  const auto ser = bench::run_kernel(cfg, "chol.serial",
+                                     Params().set("n", 4u).set("reps", 16u));
   const uint64_t serial =
-      s.run().cycles * (static_cast<uint64_t>(per_core) * cfg.n_cores()) / 16;
-  return {name, serial, chol.run(), cfg.n_cores()};
+      ser.cycles * (static_cast<uint64_t>(per_core) * cfg.n_cores()) / 16;
+  return {name, serial, par, cfg.n_cores()};
 }
 
 Row chol_pair_row(const arch::Cluster_config& cfg, const std::string& name) {
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
   const uint32_t n_pairs = cfg.n_cores() / 8;
-  kernels::Chol_pair chol(m, alloc, 32, n_pairs);
-  for (uint32_t p = 0; p < n_pairs; ++p) {
-    chol.set_g(p, 0, bench::random_spd(32, 2 * p));
-    chol.set_g(p, 1, bench::random_spd(32, 2 * p + 1));
-  }
-  sim::Machine m2(cfg);
-  arch::L1_alloc alloc2(m2.config());
-  kernels::Chol_serial s(m2, alloc2, 32, 1);
-  s.set_g(0, bench::random_spd(32, 9));
-  const uint64_t serial = s.run().cycles * 2ull * n_pairs;
-  return {name, serial, chol.run(), cfg.n_cores()};
+  const auto par = bench::run_kernel(
+      cfg, "chol.pair", Params().set("n", 32u).set("pairs", n_pairs));
+  const auto ser =
+      bench::run_kernel(cfg, "chol.serial", Params().set("n", 32u));
+  return {name, ser.cycles * 2ull * n_pairs, par, cfg.n_cores()};
 }
 
 void run_cluster(const arch::Cluster_config& cfg) {
@@ -119,12 +83,12 @@ void run_cluster(const arch::Cluster_config& cfg) {
   add(t, fft_row(cfg, 4096, gangs4096, 16,
                  std::to_string(gangs4096) + "x16 FFTs 4096-pt"));
 
-  add(t, mmm_row(cfg, {128, 128, 128}, 1, "MMM 128x128x128"));
-  add(t, mmm_row(cfg, {256, 128, 256}, 1, "MMM 256x128x256"));
+  add(t, mmm_row(cfg, 128, 128, 128, 1, "MMM 128x128x128"));
+  add(t, mmm_row(cfg, 256, 128, 256, 1, "MMM 256x128x256"));
   if (cfg.n_cores() >= 1024) {
-    add(t, mmm_row(cfg, {4096, 64, 32}, 1, "MMM 4096x64x32"));
+    add(t, mmm_row(cfg, 4096, 64, 32, 1, "MMM 4096x64x32"));
   } else {
-    add(t, mmm_row(cfg, {2048, 64, 32}, 2, "MMM 4096x64x32 (2 slices)"));
+    add(t, mmm_row(cfg, 2048, 64, 32, 2, "MMM 4096x64x32 (2 slices)"));
   }
 
   add(t, chol_batch_row(cfg, 4, "4x" + std::to_string(cfg.n_cores()) +

@@ -8,7 +8,7 @@
 // 0.785 ms at 1 GHz vs. the 0.5 ms slot budget.
 #include "bench/bench_util.h"
 #include "common/cli.h"
-#include "pusch/chain_sim.h"
+#include "pusch/use_case_rollup.h"
 
 namespace {
 

@@ -1,4 +1,9 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
+//
+// measure_kernel()/run_kernel() replace the per-bench machine + allocator +
+// stimulus boilerplate: every kernel configuration is instantiated from the
+// runtime registry by name, fed synthetic stimulus, and launched on a fresh
+// simulated cluster.
 #ifndef PUSCHPOOL_BENCH_BENCH_UTIL_H
 #define PUSCHPOOL_BENCH_BENCH_UTIL_H
 
@@ -7,9 +12,11 @@
 #include <vector>
 
 #include "baseline/reference.h"
+#include "common/cli.h"
 #include "common/complex16.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "runtime/registry.h"
 #include "sim/stats.h"
 
 namespace pp::bench {
@@ -32,6 +39,50 @@ inline std::vector<common::cq15> random_spd(uint32_t n, uint64_t seed) {
   for (size_t i = 0; i < g.size(); ++i) q[i] = common::to_cq15(g[i]);
   return q;
 }
+
+// ---- registry-driven kernel measurement -----------------------------------
+
+struct Measured {
+  sim::Kernel_report rep;
+  runtime::Kernel_desc desc;  // resolved configuration (cores, MACs, ...)
+};
+
+// Instantiates `kernel` from the registry on a fresh simulated `cfg`
+// cluster, binds default stimulus, and runs it to completion.
+inline Measured measure_kernel(const arch::Cluster_config& cfg,
+                               const std::string& kernel,
+                               const runtime::Params& params = {},
+                               uint64_t seed = 1) {
+  sim::Machine m(cfg);
+  arch::L1_alloc alloc(m.config());
+  auto k = runtime::make_kernel(kernel, m, alloc, params);
+  common::Rng rng(seed);
+  k->bind_default_inputs(rng);
+  Measured out{k->launch(), k->desc()};
+  return out;
+}
+
+inline sim::Kernel_report run_kernel(const arch::Cluster_config& cfg,
+                                     const std::string& kernel,
+                                     const runtime::Params& params = {},
+                                     uint64_t seed = 1) {
+  return measure_kernel(cfg, kernel, params, seed).rep;
+}
+
+// ---- CLI helpers ----------------------------------------------------------
+
+inline arch::Cluster_config cluster_by_name(const std::string& name) {
+  if (name == "terapool") return arch::Cluster_config::terapool();
+  if (name == "minipool") return arch::Cluster_config::minipool();
+  return arch::Cluster_config::mempool();
+}
+
+inline arch::Cluster_config cluster_from_cli(const common::Cli& cli,
+                                             const char* fallback = "mempool") {
+  return cluster_by_name(cli.get("--arch", fallback));
+}
+
+// ---- reporting ------------------------------------------------------------
 
 // Standard IPC/stall breakdown columns (paper Fig. 8).
 inline std::vector<std::string> ipc_header() {

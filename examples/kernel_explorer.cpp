@@ -1,152 +1,61 @@
-// Interactive kernel explorer: run any of the paper's kernels on either
-// cluster with chosen parameters and print the cycle/IPC/stall report.
+// Interactive kernel explorer: run any registry kernel on either cluster
+// with chosen parameters and print the cycle/IPC/stall report.
 //
-//   ./examples/kernel_explorer --kernel fft  --arch terapool --size 1024
-//   ./examples/kernel_explorer --kernel mmm  --arch mempool  --m 256 --k 64 --p 32
-//   ./examples/kernel_explorer --kernel chol --arch terapool --size 32
-//   ./examples/kernel_explorer --kernel che|ne
+//   ./examples/kernel_explorer --list
+//   ./examples/kernel_explorer --kernel fft.parallel --arch terapool
+//       --params n=1024,inst=4
+//   ./examples/kernel_explorer --kernel mmm --params m=256,k=64,p=32
+//   ./examples/kernel_explorer --kernel chol.pair --params n=32,mirrored=0
+//   ./examples/kernel_explorer --kernel che --params sc=512,b=32,l=4
 //
-// Add --serial to run the single-core baseline instead of the parallel
-// mapping (and print the speedup when both are run).
+// Kernel and parameter names are exactly the registry's (see --list or
+// runtime/registry.h); anything not given falls back to the kernel's
+// defaults, with gang sizes resolved against the chosen cluster.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/cli.h"
-#include "common/rng.h"
-#include "baseline/reference.h"
-#include "kernels/che_ne.h"
-#include "kernels/cholesky.h"
-#include "kernels/fft.h"
-#include "kernels/mmm.h"
-
-namespace {
-
-using namespace pp;
-
-std::vector<common::cq15> random_signal(size_t n, uint64_t seed) {
-  common::Rng rng(seed);
-  std::vector<common::cq15> x(n);
-  for (auto& v : x) v = common::to_cq15(rng.cnormal() * 0.2);
-  return x;
-}
-
-std::vector<common::cq15> random_spd(uint32_t n, uint64_t seed) {
-  common::Rng rng(seed);
-  std::vector<ref::cd> a(size_t{n} * 2 * n);
-  for (auto& v : a) v = rng.cnormal() * 0.1;
-  auto g = ref::gram(a, 2 * n, n);
-  for (uint32_t i = 0; i < n; ++i) g[i * n + i] += 0.03;
-  std::vector<common::cq15> q(g.size());
-  for (size_t i = 0; i < g.size(); ++i) q[i] = common::to_cq15(g[i]);
-  return q;
-}
-
-void print_report(const char* what, const sim::Kernel_report& r) {
-  std::printf("%s\n", what);
-  std::printf("  cores %u | cycles %lu | instrs %lu | IPC %.2f\n", r.n_cores,
-              static_cast<unsigned long>(r.cycles),
-              static_cast<unsigned long>(r.instrs), r.ipc());
-  std::printf("  stalls: raw %.1f%% | lsu %.1f%% | instr$ %.1f%% | ext %.1f%% "
-              "| wfi %.1f%%\n",
-              100 * r.frac(sim::Stall::raw), 100 * r.frac(sim::Stall::lsu),
-              100 * r.frac(sim::Stall::icache),
-              100 * r.frac(sim::Stall::extunit), 100 * r.frac(sim::Stall::wfi));
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace pp;
   common::Cli cli(argc, argv);
-  const auto cfg = cli.get("--arch", "mempool") == "terapool"
-                       ? arch::Cluster_config::terapool()
-                       : arch::Cluster_config::mempool();
-  const std::string kernel = cli.get("--kernel", "fft");
-  const bool serial = cli.has("--serial");
 
-  sim::Machine m(cfg);
-  arch::L1_alloc alloc(m.config());
+  if (cli.has("--list")) {
+    std::printf("registered kernels:\n");
+    for (const auto& [name, summary] : runtime::Registry::instance().list()) {
+      std::printf("  %-16s %s\n", name.c_str(), summary.c_str());
+    }
+    return 0;
+  }
+
+  const auto cfg = bench::cluster_from_cli(cli);
+  const std::string kernel = cli.get("--kernel", "fft.parallel");
+  const auto params = runtime::Params::parse(cli.get("--params", ""));
+
+  if (!runtime::Registry::instance().contains(kernel)) {
+    std::fprintf(stderr, "unknown --kernel %s (try --list)\n", kernel.c_str());
+    return 2;
+  }
+
   std::printf("%s: %u cores, %.0f KiB L1\n\n", cfg.name.c_str(), cfg.n_cores(),
               cfg.l1_words() * 4.0 / 1024.0);
 
-  if (kernel == "fft") {
-    const uint32_t n = static_cast<uint32_t>(cli.get_int("--size", 1024));
-    if (serial) {
-      kernels::Fft_serial fft(m, alloc, n, 1);
-      fft.set_input(0, random_signal(n, 1));
-      print_report("serial FFT", fft.run());
-    } else {
-      const uint32_t n_inst = std::max<uint32_t>(
-          1, std::min(cfg.n_cores() / (n / 16),
-                      static_cast<uint32_t>(cli.get_int("--inst", 64))));
-      const uint32_t reps = static_cast<uint32_t>(cli.get_int("--reps", 1));
-      kernels::Fft_parallel fft(m, alloc, n, n_inst, reps);
-      for (uint32_t i = 0; i < n_inst; ++i) {
-        for (uint32_t r = 0; r < reps; ++r) {
-          fft.set_input(i, r, random_signal(n, i * 17 + r));
-        }
-      }
-      char label[96];
-      std::snprintf(label, sizeof label, "parallel FFT: %u x %u-pt (reps %u)",
-                    n_inst, n, reps);
-      print_report(label, fft.run());
-    }
-  } else if (kernel == "mmm") {
-    const kernels::Mmm_dims d{
-        static_cast<uint32_t>(cli.get_int("--m", 256)),
-        static_cast<uint32_t>(cli.get_int("--k", 64)),
-        static_cast<uint32_t>(cli.get_int("--p", 32))};
-    kernels::Mmm mmm(m, alloc, d,
-                     static_cast<uint32_t>(cli.get_int("--wr", 4)),
-                     static_cast<uint32_t>(cli.get_int("--wc", 4)));
-    mmm.set_a(random_signal(size_t{d.m} * d.k, 1));
-    mmm.set_b(random_signal(size_t{d.k} * d.p, 2));
-    const auto r = serial ? mmm.run_serial() : mmm.run_parallel();
-    print_report(serial ? "serial MMM" : "parallel MMM", r);
+  const auto r = bench::measure_kernel(
+      cfg, kernel, params, static_cast<uint64_t>(cli.get_int("--seed", 1)));
+  std::printf("%s\n", r.desc.label().c_str());
+  std::printf("  cores %u | cycles %lu | instrs %lu | IPC %.2f\n",
+              r.rep.n_cores, static_cast<unsigned long>(r.rep.cycles),
+              static_cast<unsigned long>(r.rep.instrs), r.rep.ipc());
+  std::printf("  stalls: raw %.1f%% | lsu %.1f%% | instr$ %.1f%% | ext %.1f%% "
+              "| wfi %.1f%%\n",
+              100 * r.rep.frac(sim::Stall::raw),
+              100 * r.rep.frac(sim::Stall::lsu),
+              100 * r.rep.frac(sim::Stall::icache),
+              100 * r.rep.frac(sim::Stall::extunit),
+              100 * r.rep.frac(sim::Stall::wfi));
+  if (r.desc.macs) {
     std::printf("  %.1f complex MACs/cycle\n",
-                static_cast<double>(mmm.cmacs()) / r.cycles);
-  } else if (kernel == "chol") {
-    const uint32_t n = static_cast<uint32_t>(cli.get_int("--size", 32));
-    if (serial) {
-      kernels::Chol_serial chol(m, alloc, n, 1);
-      chol.set_g(0, random_spd(n, 3));
-      print_report("serial Cholesky", chol.run());
-    } else if (n <= 4) {
-      kernels::Chol_batch chol(m, alloc, n, 4, cfg.n_cores());
-      for (uint32_t c = 0; c < cfg.n_cores(); ++c) {
-        for (uint32_t i = 0; i < 4; ++i) chol.set_g(c, i, random_spd(n, c));
-      }
-      print_report("batched 4-per-core Cholesky", chol.run());
-    } else {
-      const uint32_t pairs = cfg.n_cores() / (n / 4);
-      kernels::Chol_pair chol(m, alloc, n, pairs);
-      for (uint32_t p = 0; p < pairs; ++p) {
-        chol.set_g(p, 0, random_spd(n, 2 * p));
-        chol.set_g(p, 1, random_spd(n, 2 * p + 1));
-      }
-      print_report("mirrored-pair Cholesky", chol.run());
-    }
-  } else if (kernel == "che" || kernel == "ne") {
-    const uint32_t n_sc = static_cast<uint32_t>(cli.get_int("--size", 512));
-    const uint32_t n_b = 32, n_l = 4;
-    if (kernel == "che") {
-      kernels::Che che(m, alloc, n_sc, n_b, n_l, cfg.n_cores());
-      for (uint32_t l = 0; l < n_l; ++l) {
-        che.set_pilot(l, random_signal(n_sc, l));
-        che.set_y_sep(l, random_signal(size_t{n_sc} * n_b, 10 + l));
-      }
-      print_report("channel estimation (element-wise division)", che.run());
-    } else {
-      kernels::Ne ne(m, alloc, n_sc, n_b, n_l, cfg.n_cores());
-      for (uint32_t l = 0; l < n_l; ++l) {
-        ne.set_pilot(l, random_signal(n_sc, l));
-      }
-      ne.set_y(random_signal(size_t{n_sc} * n_b, 20));
-      ne.set_h(random_signal(size_t{n_sc} * n_b * n_l, 21));
-      print_report("noise estimation (autocorrelation)", ne.run());
-    }
-  } else {
-    std::fprintf(stderr, "unknown --kernel %s (fft|mmm|chol|che|ne)\n",
-                 kernel.c_str());
-    return 2;
+                static_cast<double>(r.desc.macs) / r.rep.cycles);
   }
   return 0;
 }

@@ -1,30 +1,34 @@
-// End-to-end software-defined PUSCH uplink on the simulated cluster.
+// End-to-end software-defined PUSCH uplink through the runtime Pipeline.
 //
 // Generates a complete uplink scenario (UE payloads, QAM grids, pilots,
-// Rayleigh channel, AWGN, time-domain antenna signals), runs the paper's
-// full lower-PHY chain with the *simulated fixed-point kernels* - OFDM FFT,
-// beamforming MMM, CHE, NE, MIMO Cholesky + solves - and compares the
-// recovered payloads and EVM against the double-precision golden receiver.
+// Rayleigh channel, AWGN, time-domain antenna signals), builds the uplink
+// Pipeline preset, and executes it on the selected backend(s):
 //
-//   ./examples/pusch_uplink_e2e [--arch mempool|terapool] [--ue N] [--qam 16]
+//   sim        the paper's fixed-point kernels on the simulated cluster
+//              (per-stage cycles, EVM/BER of the Q15 chain)
+//   reference  the double-precision host models (no cycles, instant)
+//
+// With --backend both (the default) the same Pipeline call runs on each
+// backend and the recovered payloads are cross-checked.
+//
+//   ./examples/pusch_uplink_e2e [--arch mempool|terapool] [--ue N]
+//       [--qam 16] [--backend sim|reference|both] [--chol-batch N]
 //
 // The scenario is a scaled-down slot (256-pt grid, 16 antennas, 8 beams) so
 // the example runs in seconds; bench_fig9c_usecase covers the full-size
 // use case.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/cli.h"
-#include "phy/uplink.h"
-#include "pusch/sim_chain.h"
+#include "runtime/backend.h"
+#include "runtime/presets.h"
 
 int main(int argc, char** argv) {
   using namespace pp;
   common::Cli cli(argc, argv);
 
-  const std::string arch_name = cli.get("--arch", "mempool");
-  const auto cluster = arch_name == "terapool"
-                           ? arch::Cluster_config::terapool()
-                           : arch::Cluster_config::mempool();
+  const auto cluster = bench::cluster_from_cli(cli);
 
   phy::Uplink_config cfg;
   cfg.n_sc = 256;
@@ -50,31 +54,50 @@ int main(int argc, char** argv) {
               cfg.n_pilot_symb, static_cast<uint32_t>(cfg.qam));
   const phy::Uplink_scenario sc(cfg);
 
-  // Golden double-precision receiver.
-  const auto golden = phy::golden_receive(sc);
-  std::printf("\ngolden receiver:    EVM %5.2f%% | BER %.2e | sigma2_hat %.2e\n",
-              100 * golden.evm, golden.ber, golden.sigma2_hat);
+  runtime::Uplink_options opt;
+  opt.chol_symb_batch =
+      static_cast<uint32_t>(cli.get_int("--chol-batch", 1));
+  const auto pipeline = runtime::uplink_pipeline(cluster, opt);
 
-  // Simulated fixed-point chain on the cluster.
-  const auto simres = pusch::run_sim_uplink(sc, cluster);
-  std::printf("simulated %s: EVM %5.2f%% | BER %.2e | sigma2_hat %.2e\n",
-              cluster.name.c_str(), 100 * simres.evm, simres.ber,
-              simres.sigma2_hat);
-
-  bool payload_match = true;
-  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-    payload_match &= golden.bits[l] == simres.bits[l];
+  const std::string which = cli.get("--backend", "both");
+  if (which != "sim" && which != "reference" && which != "both") {
+    std::fprintf(stderr, "unknown --backend %s (sim|reference|both)\n",
+                 which.c_str());
+    return 2;
   }
-  std::printf("payloads match golden receiver: %s\n",
-              payload_match ? "yes" : "NO");
-
-  std::printf("\nsimulated cycles per stage (whole slot):\n");
-  for (const auto& st : simres.stages) {
-    std::printf("  %-16s %10lu cycles over %3u kernel runs\n", st.name.c_str(),
-                static_cast<unsigned long>(st.cycles), st.runs);
+  std::vector<runtime::Slot_result> results;
+  for (const auto* name : {"reference", "sim"}) {
+    if (which != name && which != "both") continue;
+    auto backend = runtime::make_backend(name);
+    results.push_back(pipeline.execute(sc, *backend));
+    const auto& res = results.back();
+    std::printf("\n%s backend (%s): EVM %5.2f%% | BER %.2e | sigma2_hat %.2e\n",
+                res.backend.c_str(),
+                backend->cycle_accurate() ? cluster.name.c_str() : "host",
+                100 * res.evm, res.ber, res.sigma2_hat);
+    if (backend->cycle_accurate()) {
+      std::printf("cycles per stage (whole slot):\n");
+      for (const auto& st : res.stages) {
+        std::printf("  %-16s %10lu cycles over %3u kernel runs\n",
+                    st.name.c_str(), static_cast<unsigned long>(st.cycles),
+                    st.runs);
+      }
+      std::printf("  %-16s %10lu cycles (%.3f ms at 1 GHz)\n", "total",
+                  static_cast<unsigned long>(res.total_cycles()),
+                  res.total_cycles() * 1e-6);
+    }
   }
-  std::printf("  %-16s %10lu cycles (%.3f ms at 1 GHz)\n", "total",
-              static_cast<unsigned long>(simres.total_cycles()),
-              simres.total_cycles() * 1e-6);
-  return simres.ber == 0.0 && payload_match ? 0 : 1;
+
+  bool ok = true;
+  for (const auto& res : results) ok &= res.ber == 0.0;
+  if (results.size() == 2) {
+    bool payload_match = true;
+    for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+      payload_match &= results[0].bits[l] == results[1].bits[l];
+    }
+    std::printf("\npayloads match across backends: %s\n",
+                payload_match ? "yes" : "NO");
+    ok &= payload_match;
+  }
+  return ok ? 0 : 1;
 }

@@ -1,16 +1,22 @@
-// Quickstart: simulate the paper's parallel FFT kernel on MemPool.
+// Quickstart: drive a kernel through the runtime registry, then a whole
+// PUSCH slot through a Pipeline on both backends.
 //
-// Builds a 256-core MemPool machine, runs sixteen 256-point FFTs in
-// parallel (one gang of 16 cores each), checks the result against the
-// reference DFT, and prints the cycle/IPC report plus the speedup over a
-// single-core run of the same work.
+// Part 1 instantiates the paper's parallel FFT kernel by name
+// ("fft.parallel") on a 256-core MemPool machine, runs sixteen 256-point
+// FFTs in parallel, checks one output against the reference DFT, and prints
+// the cycle/IPC report plus the speedup over a single-core run.
+//
+// Part 2 builds the end-to-end uplink pipeline preset and executes the same
+// scaled-down scenario on the cycle-approximate "sim" backend and on the
+// double-precision "reference" backend, showing the golden cross-check.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
 #include "baseline/reference.h"
-#include "common/rng.h"
-#include "kernels/fft.h"
+#include "runtime/backend.h"
+#include "runtime/presets.h"
+#include "runtime/registry.h"
 
 int main() {
   using namespace pp;
@@ -21,33 +27,36 @@ int main() {
               cfg.name.c_str(), cfg.n_cores(), cfg.n_groups,
               cfg.tiles_per_group, cfg.cores_per_tile, cfg.n_banks());
 
-  // One machine hosts both the parallel batch and the serial baseline.
+  // ---- part 1: one kernel through the registry ------------------------
   sim::Machine m(cfg);
   arch::L1_alloc alloc(m.config());
 
   const uint32_t n = 256;
   const uint32_t n_ffts = 16;
-  kernels::Fft_parallel fft(m, alloc, n, n_ffts);
-  kernels::Fft_serial serial(m, alloc, n, 1);
+  auto fft = runtime::make_kernel(
+      "fft.parallel", m, alloc,
+      runtime::Params().set("n", n).set("inst", n_ffts));
+  auto serial = runtime::make_kernel("fft.serial", m, alloc,
+                                     runtime::Params().set("n", n));
 
-  // Random Q1.15 input signals.
+  // Random Q1.15 input signals, bound by (port, slot).
   common::Rng rng(1);
   std::vector<std::vector<common::cq15>> inputs(n_ffts);
   for (uint32_t i = 0; i < n_ffts; ++i) {
     inputs[i].resize(n);
     for (auto& v : inputs[i]) v = common::to_cq15(rng.cnormal() * 0.2);
-    fft.set_input(i, 0, inputs[i]);
+    fft->bind("x", i, inputs[i]);
   }
-  serial.set_input(0, inputs[0]);
+  serial->bind("x", 0, inputs[0]);
 
-  const auto par = fft.run();
-  const auto ser = serial.run();
+  const auto par = fft->launch();
+  const auto ser = serial->launch();
 
   // Verify one instance against the double-precision DFT.
   std::vector<ref::cd> x(n);
   for (uint32_t i = 0; i < n; ++i) x[i] = common::to_cd(inputs[0][i]);
   const auto want = ref::dft(x);
-  const auto got = fft.output(0, 0);
+  const auto got = fft->fetch("y", 0);
   std::vector<ref::cd> got_d(n);
   for (uint32_t i = 0; i < n; ++i) got_d[i] = common::to_cd(got[i]);
   std::printf("fixed-point accuracy: %.1f dB SQNR vs reference DFT\n",
@@ -65,5 +74,31 @@ int main() {
               n_ffts,
               static_cast<double>(ser.cycles) * n_ffts / par.cycles,
               par.n_cores);
+
+  // ---- part 2: a whole slot through the Pipeline, on both backends ----
+  phy::Uplink_config ucfg;
+  ucfg.n_sc = 64;
+  ucfg.fft_size = 64;
+  ucfg.n_rx = 4;
+  ucfg.n_beams = 4;
+  ucfg.n_ue = 2;
+  ucfg.n_symb = 4;
+  ucfg.n_pilot_symb = 2;
+  ucfg.qam = phy::Qam::qpsk;
+  ucfg.sigma2 = 1e-7;
+  ucfg.ue_power = 0.08;
+  const phy::Uplink_scenario sc(ucfg);
+
+  const auto pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool());
+  std::printf("\npipeline '%s' on a %u-core cluster:\n",
+              pipeline.name().c_str(), pipeline.cluster().n_cores());
+  for (const auto& backend_name : {"sim", "reference"}) {
+    auto backend = runtime::make_backend(backend_name);
+    const auto res = pipeline.execute(sc, *backend);
+    std::printf("  %-9s backend: EVM %5.2f%% | BER %.2e | %lu cycles\n",
+                res.backend.c_str(), 100 * res.evm, res.ber,
+                static_cast<unsigned long>(res.total_cycles()));
+  }
   return 0;
 }

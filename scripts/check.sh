@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest, then a smoke run of the
+# quickstart example (registry + pipeline on both backends).  Suitable as a
+# CI entry point; exits non-zero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
+
+echo "--- smoke: examples/quickstart ---"
+"$BUILD_DIR"/examples/quickstart
+
+echo "check.sh: all green"

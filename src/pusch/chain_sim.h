@@ -1,58 +1,11 @@
-// Use-case chain roll-up (paper §VI, Fig. 9c).
-//
-// Maps one 0.5 ms PUSCH slot of the paper's use case (64 antennas,
-// 4096-point grid, 32 beams, 4 UEs, 14 symbols with 2 pilot symbols) onto
-// the cluster by measuring each kernel configuration once on the simulator
-// and scaling by its per-slot repetition count:
-//
-//   FFT   - 64 transforms x 14 symbols (n_inst concurrent gangs x reps)
-//   MMM   - 4096 x 64 x 32 beamforming x 14 symbols
-//   Chol  - 4096 4x4 decompositions x 12 data symbols, optionally batched
-//           4 data symbols at a time (the paper's improved schedule)
-//
-// Optional extension rows measure CHE, NE and the triangular solves the
-// paper's Fig. 9c omits.
+// DEPRECATED shim: the analytic use-case roll-up moved to
+// pusch/use_case_rollup.h (and is now a preset over runtime::Pipeline).
+// This header existed alongside the confusingly-named sim_chain.h (the
+// functional end-to-end chain, now pusch/uplink_chain.h); include the new
+// headers directly.
 #ifndef PUSCHPOOL_PUSCH_CHAIN_SIM_H
 #define PUSCHPOOL_PUSCH_CHAIN_SIM_H
 
-#include <string>
-#include <vector>
-
-#include "arch/topology.h"
-#include "pusch/complexity.h"
-#include "sim/stats.h"
-
-namespace pp::pusch {
-
-struct Chain_config {
-  arch::Cluster_config cluster = arch::Cluster_config::terapool();
-  Pusch_dims dims;
-  bool batch_cholesky = true;    // schedule 4 data symbols per batch
-  bool include_estimation = false;  // extension: CHE/NE/solve rows
-};
-
-struct Chain_stage {
-  std::string name;
-  sim::Kernel_report rep;  // one measured instance
-  uint32_t times = 1;      // instances per slot
-  uint64_t total_cycles() const { return rep.cycles * times; }
-};
-
-struct Chain_result {
-  std::vector<Chain_stage> stages;
-  uint64_t parallel_cycles = 0;  // sum over stages (paper's 3-kernel set)
-  uint64_t serial_cycles = 0;    // same work on one core
-  double speedup() const {
-    return parallel_cycles
-               ? static_cast<double>(serial_cycles) / parallel_cycles
-               : 0.0;
-  }
-  double ms_at_1ghz() const { return parallel_cycles * 1e-6; }
-};
-
-// Runs the full use case on the given cluster configuration.
-Chain_result run_use_case(const Chain_config& cfg);
-
-}  // namespace pp::pusch
+#include "pusch/use_case_rollup.h"
 
 #endif  // PUSCHPOOL_PUSCH_CHAIN_SIM_H

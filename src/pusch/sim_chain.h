@@ -1,50 +1,11 @@
-// End-to-end PUSCH lower PHY on the simulated cluster.
-//
-// Runs the full receive chain of Fig. 1 with the *simulated* fixed-point
-// kernels - OFDM FFT, beamforming MMM, CHE, NE, MIMO (Gramian/matched
-// filter, Cholesky, triangular solves) - on data generated by the pp::phy
-// uplink substrate, and demodulates the UEs' QAM payloads.  Between kernel
-// stages the host only marshals data and applies power-of-two block
-// rescaling (the role DMA + block-floating-point shifts play in a real
-// deployment).
+// DEPRECATED shim: the end-to-end functional chain moved to
+// pusch/uplink_chain.h (and is now a preset over runtime::Pipeline run on
+// the "sim" backend).  This header existed alongside the confusingly-named
+// chain_sim.h (the analytic use-case roll-up, now pusch/use_case_rollup.h);
+// include the new headers directly.
 #ifndef PUSCHPOOL_PUSCH_SIM_CHAIN_H
 #define PUSCHPOOL_PUSCH_SIM_CHAIN_H
 
-#include <string>
-#include <vector>
-
-#include "arch/topology.h"
-#include "phy/uplink.h"
-#include "sim/stats.h"
-
-namespace pp::pusch {
-
-struct Sim_chain_result {
-  // Aggregated simulated-kernel reports per stage (cycles summed over the
-  // per-symbol runs).
-  struct Stage {
-    std::string name;
-    uint64_t cycles = 0;
-    uint64_t instrs = 0;
-    uint32_t runs = 0;
-  };
-  std::vector<Stage> stages;
-
-  std::vector<std::vector<uint8_t>> bits;  // recovered payload per UE
-  double evm = 0.0;          // vs transmitted constellation points
-  double ber = 0.0;
-  double sigma2_hat = 0.0;   // NE output (beam-grid units)
-  uint64_t total_cycles() const {
-    uint64_t t = 0;
-    for (const auto& s : stages) t += s.cycles;
-    return t;
-  }
-};
-
-// Runs the scenario's slot through the simulated kernels on `cluster`.
-Sim_chain_result run_sim_uplink(const phy::Uplink_scenario& sc,
-                                const arch::Cluster_config& cluster);
-
-}  // namespace pp::pusch
+#include "pusch/uplink_chain.h"
 
 #endif  // PUSCHPOOL_PUSCH_SIM_CHAIN_H

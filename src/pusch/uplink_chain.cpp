@@ -1,0 +1,14 @@
+#include "pusch/uplink_chain.h"
+
+#include "runtime/backend.h"
+#include "runtime/presets.h"
+
+namespace pp::pusch {
+
+Sim_chain_result run_sim_uplink(const phy::Uplink_scenario& sc,
+                                const arch::Cluster_config& cluster) {
+  runtime::Sim_backend backend;
+  return runtime::uplink_pipeline(cluster).execute(sc, backend);
+}
+
+}  // namespace pp::pusch

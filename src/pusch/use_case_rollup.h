@@ -1,0 +1,37 @@
+// Analytic use-case roll-up (paper §VI, Fig. 9c).
+//
+// Maps one 0.5 ms PUSCH slot of the paper's use case (64 antennas,
+// 4096-point grid, 32 beams, 4 UEs, 14 symbols with 2 pilot symbols) onto
+// the cluster by measuring each kernel configuration once on the simulator
+// and scaling by its per-slot repetition count:
+//
+//   FFT   - 64 transforms x 14 symbols (n_inst concurrent gangs x reps)
+//   MMM   - 4096 x 64 x 32 beamforming x 14 symbols
+//   Chol  - 4096 4x4 decompositions x 12 data symbols, optionally batched
+//           4 data symbols at a time (the paper's improved schedule)
+//
+// Optional extension rows measure CHE, NE and the triangular solves the
+// paper's Fig. 9c omits.
+//
+// Renamed from chain_sim.h; run_use_case is now a thin preset over
+// runtime::Pipeline (see runtime/presets.h) - build the pipeline yourself
+// via runtime::use_case_pipeline() to customize stages.
+#ifndef PUSCHPOOL_PUSCH_USE_CASE_ROLLUP_H
+#define PUSCHPOOL_PUSCH_USE_CASE_ROLLUP_H
+
+#include "runtime/presets.h"
+
+namespace pp::pusch {
+
+using Chain_config = runtime::Use_case_options;
+using Chain_stage = runtime::Rollup_stage;
+using Chain_result = runtime::Rollup_result;
+
+// Runs the full use case on the given cluster configuration.
+inline Chain_result run_use_case(const Chain_config& cfg) {
+  return runtime::run_use_case(cfg);
+}
+
+}  // namespace pp::pusch
+
+#endif  // PUSCHPOOL_PUSCH_USE_CASE_ROLLUP_H

@@ -1,0 +1,55 @@
+// Pluggable execution backends for functional pipeline runs.
+//
+// A Backend takes a Pipeline description plus an uplink scenario and
+// produces a Slot_result.  Two implementations exist:
+//
+//   Sim_backend        the cycle-approximate fixed-point kernels on the
+//                      simulated many-core cluster (pipeline.cluster());
+//                      reports per-stage cycles and instruction counts
+//   Reference_backend  the double-precision host models (baseline/): no
+//                      cycles, runs in milliseconds - the golden functional
+//                      cross-check and the fast path for scenario sweeps
+//
+// Both emit the same Slot_result, so a single scenario can be scored on the
+// simulator and on the reference through the same Pipeline::execute() call.
+#ifndef PUSCHPOOL_RUNTIME_BACKEND_H
+#define PUSCHPOOL_RUNTIME_BACKEND_H
+
+#include <memory>
+#include <string_view>
+
+#include "runtime/pipeline.h"
+
+namespace pp::runtime {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual std::string_view name() const = 0;
+  virtual bool cycle_accurate() const = 0;
+  virtual Slot_result run_slot(const Pipeline& p,
+                               const phy::Uplink_scenario& sc) = 0;
+};
+
+class Sim_backend final : public Backend {
+ public:
+  std::string_view name() const override { return "sim"; }
+  bool cycle_accurate() const override { return true; }
+  Slot_result run_slot(const Pipeline& p,
+                       const phy::Uplink_scenario& sc) override;
+};
+
+class Reference_backend final : public Backend {
+ public:
+  std::string_view name() const override { return "reference"; }
+  bool cycle_accurate() const override { return false; }
+  Slot_result run_slot(const Pipeline& p,
+                       const phy::Uplink_scenario& sc) override;
+};
+
+// "sim" or "reference"; aborts on anything else.
+std::unique_ptr<Backend> make_backend(std::string_view name);
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_BACKEND_H

@@ -1,0 +1,74 @@
+// Functional slot execution on the double-precision host models.
+//
+// Runs the same logical stage sequence as the sim backend - OFDM FFT,
+// beamforming, CHE, NE, LMMSE MIMO - but with the baseline/ golden models
+// in double precision.  No cycles are reported (the backend is not
+// cycle-accurate); per-stage `runs` mirror the kernel launch counts the
+// sim backend performs for the same pipeline (FFT gang batching and
+// Cholesky symbol batching included), so the two results line up stage by
+// stage.  This is the golden functional cross-check and the fast path for
+// scenario sweeps: a slot that takes minutes on the simulator scores in
+// milliseconds here.
+#include <cmath>
+
+#include "baseline/reference.h"
+#include "common/check.h"
+#include "runtime/backend.h"
+
+namespace pp::runtime {
+
+Slot_result Reference_backend::run_slot(const Pipeline& p,
+                                        const phy::Uplink_scenario& sc) {
+  const auto& cfg = sc.config();
+  const uint32_t n_data_symb = cfg.n_symb - cfg.n_pilot_symb;
+
+  const auto golden = phy::golden_receive(sc);
+
+  Slot_result out;
+  out.backend = "reference";
+  out.bits = golden.bits;
+  out.evm = golden.evm;
+  out.ber = golden.ber;
+  out.sigma2_hat = golden.sigma2_hat;
+
+  // Mirror the sim backend's launch counts so the two results line up.
+  out.stages.resize(p.stages().size());
+  for (size_t i = 0; i < p.stages().size(); ++i) {
+    const auto& spec = p.stages()[i];
+    auto& st = out.stages[i];
+    st.name = spec.name;
+    switch (spec.role) {
+      case Stage_role::fft: {
+        const uint32_t inst = resolve_fft_gangs(p.cluster(), cfg.fft_size,
+                                                spec.run.params, cfg.n_rx);
+        st.runs = cfg.n_symb * ((cfg.n_rx + inst - 1) / inst);
+        break;
+      }
+      case Stage_role::beamform:
+        st.runs = cfg.n_symb;
+        break;
+      case Stage_role::che:
+      case Stage_role::ne:
+        st.runs = 1;
+        break;
+      case Stage_role::gram:
+        st.runs = n_data_symb;
+        break;
+      case Stage_role::mimo_solve: {
+        // One decomposition + one solve launch per symbol batch, under the
+        // same divisibility rule the sim backend enforces.
+        const uint32_t batch = spec.run.params.getu("symb_batch", 1);
+        PP_CHECK(batch >= 1 && n_data_symb % batch == 0,
+                 "chol symb_batch must divide the data-symbol count");
+        st.runs = 2 * (n_data_symb / batch);
+        break;
+      }
+      case Stage_role::custom:
+        st.runs = 0;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pp::runtime

@@ -1,0 +1,67 @@
+#include "runtime/pipeline.h"
+
+#include "runtime/backend.h"
+#include "runtime/registry.h"
+
+namespace pp::runtime {
+
+Params kernel_params(const Exec_spec& spec) {
+  return Params(spec.params).unset("symb_batch").unset("solver");
+}
+
+Rollup_result Pipeline::measure(uint64_t seed) const {
+  Rollup_result out;
+  common::Rng rng(seed);
+
+  for (const auto& spec : stages_) {
+    if (spec.run.kernel.empty()) continue;
+    sim::Machine m(cluster_);
+    arch::L1_alloc alloc(m.config());
+    auto k = make_kernel(spec.run.kernel, m, alloc, kernel_params(spec.run));
+    k->bind_default_inputs(rng);
+    Rollup_stage st;
+    st.name = spec.name.empty() ? k->desc().label() : spec.name;
+    st.rep = k->launch();
+    st.times = spec.run.repeat;
+    if (spec.core_set) out.parallel_cycles += st.total_cycles();
+    out.stages.push_back(std::move(st));
+  }
+
+  // Single-core baselines: the same per-slot work, one core, one kernel
+  // launch measured and scaled by the baseline's repetition count.
+  for (const auto& spec : stages_) {
+    if (spec.serial.kernel.empty() || spec.serial.repeat == 0) continue;
+    sim::Machine m(cluster_);
+    arch::L1_alloc alloc(m.config());
+    auto k = make_kernel(spec.serial.kernel, m, alloc,
+                         kernel_params(spec.serial));
+    k->bind_default_inputs(rng);
+    out.serial_cycles += k->launch().cycles * spec.serial.repeat;
+  }
+  return out;
+}
+
+Slot_result Pipeline::execute(const phy::Uplink_scenario& sc,
+                              Backend& backend) const {
+  return backend.run_slot(*this, sc);
+}
+
+uint32_t resolve_fft_gangs(const arch::Cluster_config& cluster,
+                           uint32_t fft_size, const Params& params,
+                           uint32_t max_inst) {
+  uint32_t inst = params.getu("inst", 0);
+  if (inst == 0) {
+    PP_CHECK(fft_size >= 16, "fft gang resolution needs fft_size >= 16");
+    inst = cluster.n_cores() / (fft_size / 16);
+  }
+  return std::max(1u, std::min(max_inst, inst));
+}
+
+std::unique_ptr<Backend> make_backend(std::string_view name) {
+  if (name == "sim") return std::make_unique<Sim_backend>();
+  if (name == "reference") return std::make_unique<Reference_backend>();
+  PP_CHECK(false, "unknown backend (expected 'sim' or 'reference')");
+  return nullptr;
+}
+
+}  // namespace pp::runtime

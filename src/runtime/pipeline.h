@@ -1,0 +1,158 @@
+// Declarative kernel pipelines over the registry.
+//
+// A Pipeline is an ordered list of Stage_specs - each naming a registry
+// kernel, its Params, a per-slot repetition count, an optional single-core
+// baseline, and the block-rescaling factor applied to data entering the
+// stage.  The description is consumed by two engines:
+//
+//   measure()   analytic roll-up: run one instance of every stage on the
+//               simulated cluster and scale by its repetition count (the
+//               paper's Fig. 9c methodology; replaces the old
+//               pusch::run_use_case internals)
+//   execute()   functional slot execution: stream an uplink scenario through
+//               the stages on a pluggable Backend (backend.h) - the
+//               cycle-approximate simulator or the double-precision host
+//               reference - and score EVM/BER against the transmitted data
+//
+// Presets for the paper's use case and the end-to-end uplink slot live in
+// presets.h.
+#ifndef PUSCHPOOL_RUNTIME_PIPELINE_H
+#define PUSCHPOOL_RUNTIME_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "arch/topology.h"
+#include "phy/uplink.h"
+#include "runtime/params.h"
+#include "sim/stats.h"
+
+namespace pp::runtime {
+
+class Backend;
+
+// Functional role of a stage inside the PUSCH receive chain.  The functional
+// engines dispatch on the role; the analytic roll-up ignores it.
+enum class Stage_role { fft, beamform, che, ne, gram, mimo_solve, custom };
+
+// One kernel execution: registry key + configuration + per-slot repetitions.
+struct Exec_spec {
+  std::string kernel;  // registry key; empty = not present
+  Params params;
+  uint64_t repeat = 1;
+};
+
+struct Stage_spec {
+  std::string name;  // display label ("OFDM FFT", ...)
+  Stage_role role = Stage_role::custom;
+  Exec_spec run;       // the measured parallel mapping
+  Exec_spec serial;    // optional same-work single-core baseline
+  // Block rescaling the host applies when quantizing data into this stage.
+  // Stages whose inputs arrive directly from a previous kernel's fixed-point
+  // output (e.g. mimo_solve, fed by gram/chol) inherit the producer's scale
+  // and ignore this field.
+  double rescale = 1.0;
+  bool core_set = true;  // counts toward the roll-up's parallel total
+};
+
+// Kernel-ready params of an Exec_spec: stage-level scheduling keys
+// (symb_batch, solver - consumed by the execution engines, not by kernel
+// factories) are stripped.  Both measure() and the backends build kernel
+// params through this.
+Params kernel_params(const Exec_spec& spec);
+
+// Resolves an fft stage's concurrent gang count against a cluster: an
+// explicit "inst" param wins, 0/absent fills the cluster; the result is
+// clamped to [1, max_inst].  Shared by the functional backends so their
+// launch counts agree.
+uint32_t resolve_fft_gangs(const arch::Cluster_config& cluster,
+                           uint32_t fft_size, const Params& params,
+                           uint32_t max_inst);
+
+// ---- analytic roll-up result (paper Fig. 9c) ------------------------------
+
+struct Rollup_stage {
+  std::string name;
+  sim::Kernel_report rep;  // one measured instance
+  uint64_t times = 1;      // instances per slot
+  uint64_t total_cycles() const { return rep.cycles * times; }
+};
+
+struct Rollup_result {
+  std::vector<Rollup_stage> stages;
+  uint64_t parallel_cycles = 0;  // sum over core_set stages
+  uint64_t serial_cycles = 0;    // same work on one core
+  double speedup() const {
+    return parallel_cycles
+               ? static_cast<double>(serial_cycles) / parallel_cycles
+               : 0.0;
+  }
+  double ms_at_1ghz() const { return parallel_cycles * 1e-6; }
+};
+
+// ---- functional slot result ----------------------------------------------
+
+struct Slot_result {
+  // Aggregated per-stage reports (cycles summed over the per-symbol runs;
+  // zero on backends that are not cycle-accurate).
+  struct Stage {
+    std::string name;
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint32_t runs = 0;
+  };
+  std::vector<Stage> stages;
+
+  std::vector<std::vector<uint8_t>> bits;  // recovered payload per UE
+  double evm = 0.0;         // vs transmitted constellation points
+  double ber = 0.0;
+  double sigma2_hat = 0.0;  // NE output (beam-grid units)
+  std::string backend;      // which backend produced this result
+
+  uint64_t total_cycles() const {
+    uint64_t t = 0;
+    for (const auto& s : stages) t += s.cycles;
+    return t;
+  }
+};
+
+// ---- the pipeline ---------------------------------------------------------
+
+class Pipeline {
+ public:
+  Pipeline(std::string name, arch::Cluster_config cluster)
+      : name_(std::move(name)), cluster_(std::move(cluster)) {}
+
+  Pipeline& add(Stage_spec s) {
+    stages_.push_back(std::move(s));
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  const arch::Cluster_config& cluster() const { return cluster_; }
+  const std::vector<Stage_spec>& stages() const { return stages_; }
+
+  // First stage with the given role, or nullptr.
+  const Stage_spec* find(Stage_role role) const {
+    for (const auto& s : stages_) {
+      if (s.role == role) return &s;
+    }
+    return nullptr;
+  }
+
+  // Analytic roll-up: measures each stage once (fresh machine per stage,
+  // synthetic stimulus) and scales by its repetition count.
+  Rollup_result measure(uint64_t seed = 2023) const;
+
+  // Functional slot execution on the given backend.
+  Slot_result execute(const phy::Uplink_scenario& sc, Backend& backend) const;
+
+ private:
+  std::string name_;
+  arch::Cluster_config cluster_;
+  std::vector<Stage_spec> stages_;
+};
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_PIPELINE_H
