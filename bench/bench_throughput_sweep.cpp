@@ -1,0 +1,88 @@
+// Slot-sweep throughput: the paper's slot-budget argument, host-side.
+//
+// Runs the same scenario grid serially (1 worker) and on the full thread
+// pool, reports slots/sec for both, the parallel speedup, and verifies the
+// two runs are bit-identical (the sweep engine's determinism contract:
+// per-slot seeds derive from (base_seed, slot_index) alone and aggregation
+// is in slot-index order).
+//
+//   ./bench/bench_throughput_sweep [--workers N] [--backend reference]
+//       [--fft 64,256,1024] [--snr-points 5] [--slots 2] [--arch minipool]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "runtime/sweep.h"
+
+namespace {
+
+using namespace pp;
+
+bool bit_identical(const runtime::Sweep_result& a,
+                   const runtime::Sweep_result& b) {
+  if (a.slots.size() != b.slots.size()) return false;
+  for (size_t i = 0; i < a.slots.size(); ++i) {
+    const auto& x = a.slots[i];
+    const auto& y = b.slots[i];
+    if (x.bits != y.bits || x.evm != y.evm || x.ber != y.ber ||
+        x.sigma2_hat != y.sigma2_hat) {
+      return false;
+    }
+  }
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t p = 0; p < a.points.size(); ++p) {
+    if (a.points[p].evm != b.points[p].evm ||
+        a.points[p].ber != b.points[p].ber ||
+        a.points[p].cycles != b.points[p].cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  bench::banner("Slot-sweep throughput",
+                "Scenario grid executed serially and slot-parallel on a host "
+                "thread pool;\nN-worker results are bit-identical to the "
+                "serial run by construction.");
+
+  runtime::Sweep_grid grid;
+  grid.fft_sizes = cli.get_u32_list("--fft", "64,256,1024");
+  const uint32_t snr_points = cli.get_u32("--snr-points", 5);
+  grid.snr_db.clear();
+  for (uint32_t i = 0; i < snr_points; ++i) {
+    grid.snr_db.push_back(10.0 + 5.0 * i);
+  }
+  grid.slots_per_point = cli.get_u32("--slots", 2);
+
+  runtime::Sweep_options opt;
+  opt.backend = cli.get("--backend", "reference");
+  opt.cluster = bench::cluster_from_cli(cli, "minipool");
+
+  const uint32_t workers_flag = cli.get_u32("--workers", 0);
+  const uint32_t pool =
+      workers_flag ? workers_flag
+                   : std::max(1u, std::thread::hardware_concurrency());
+
+  opt.workers = 1;
+  const auto serial = runtime::Sweep_runner(opt).run(grid);
+  opt.workers = pool;
+  const auto parallel = runtime::Sweep_runner(opt).run(grid);
+
+  std::fputs(parallel.str().c_str(), stdout);
+  std::printf("\nserial   : %6.1f slots/s (%.3f s wall)\n",
+              serial.slots_per_second(), serial.wall_seconds);
+  std::printf("%2u workers: %6.1f slots/s (%.3f s wall) -> speedup %.2fx\n",
+              parallel.workers, parallel.slots_per_second(),
+              parallel.wall_seconds,
+              serial.wall_seconds / parallel.wall_seconds);
+  const bool ok = bit_identical(serial, parallel);
+  std::printf("bit-identical to serial: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

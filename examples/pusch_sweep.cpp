@@ -1,0 +1,118 @@
+// Scenario sweep CLI: BER/EVM-vs-SNR curves over a grid of numerologies,
+// UE counts and QAM orders, executed slot-parallel on a host thread pool
+// (runtime::Sweep_runner).
+//
+//   ./examples/pusch_sweep                                   # small default grid
+//   ./examples/pusch_sweep --backend reference --workers 8
+//       --fft 64,256,1024 --ue 2,4 --qam 4,16 --snr 0:30:6 --slots 2
+//   ./examples/pusch_sweep --backend sim --arch minipool --fft 64 --snr 20,30
+//
+// List flags take comma-separated values; --snr also accepts lo:hi:step.
+// Per-slot seeds are Rng::derive_seed(--seed, slot_index), so results are
+// bit-identical for any --workers count.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "runtime/sweep.h"
+
+namespace {
+
+using namespace pp;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+// Readable parse failures for the float-valued --snr flag (integer flags go
+// through Cli::get_u32/get_u32_list, which share this behavior): report the
+// offending token and exit 2.
+[[noreturn]] void bad_token(const char* flag, const std::string& tok) {
+  std::fprintf(stderr, "bad value '%s' for %s\n", tok.c_str(), flag);
+  std::exit(2);
+}
+
+double parse_double(const char* flag, const std::string& tok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size()) bad_token(flag, tok);
+  return v;
+}
+
+// "a,b,c" or "lo:hi:step" (inclusive of hi, step > 0).
+std::vector<double> parse_snr_list(const std::string& s) {
+  std::vector<double> out;
+  if (s.find(':') != std::string::npos) {
+    const auto parts = split(s, ':');
+    const double lo = parse_double("--snr", parts[0]);
+    const double hi = parts.size() > 1 ? parse_double("--snr", parts[1]) : lo;
+    const double step =
+        parts.size() > 2 ? parse_double("--snr", parts[2]) : 1.0;
+    if (step <= 0.0) bad_token("--snr", s);
+    for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+    return out;
+  }
+  for (const auto& tok : split(s, ',')) {
+    out.push_back(parse_double("--snr", tok));
+  }
+  return out;
+}
+
+std::vector<phy::Qam> parse_qam_list(const std::vector<uint32_t>& orders,
+                                     const std::string& raw) {
+  std::vector<phy::Qam> out;
+  for (const uint32_t order : orders) {
+    if (order != 4 && order != 16 && order != 64 && order != 256) {
+      bad_token("--qam", raw);
+    }
+    out.push_back(static_cast<phy::Qam>(order));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+
+  runtime::Sweep_grid grid;
+  grid.fft_sizes = cli.get_u32_list("--fft", "64,256");
+  grid.ue_counts = cli.get_u32_list("--ue", "2");
+  grid.qam_orders =
+      parse_qam_list(cli.get_u32_list("--qam", "16"), cli.get("--qam", "16"));
+  grid.snr_db = parse_snr_list(cli.get("--snr", "10:30:5"));
+  grid.slots_per_point = cli.get_u32("--slots", 1);
+  grid.n_rx = cli.get_u32("--rx", 4);
+  grid.n_beams = cli.get_u32("--beams", 4);
+  grid.n_symb = cli.get_u32("--symb", 4);
+  grid.base_seed = cli.get_u32("--seed", 1);
+
+  runtime::Sweep_options opt;
+  opt.backend = cli.get("--backend", "reference");
+  opt.workers = cli.get_u32("--workers", 0);
+  opt.cluster = bench::cluster_from_cli(cli, "minipool");
+  opt.keep_slots = false;  // the CLI only reports the roll-up
+
+  const runtime::Sweep_runner runner(opt);
+  std::printf("sweep: %llu points x %u slots on '%s' (%s cluster)\n",
+              static_cast<unsigned long long>(grid.n_points()),
+              grid.slots_per_point, opt.backend.c_str(),
+              opt.cluster.name.c_str());
+  const auto res = runner.run(grid);
+  std::fputs(res.str().c_str(), stdout);
+  return 0;
+}

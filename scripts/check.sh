@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + ctest, then a smoke run of the
-# quickstart example (registry + pipeline on both backends).  Suitable as a
-# CI entry point; exits non-zero on any failure.
+# Tier-1 verification: configure + build + ctest, then smoke runs of the
+# quickstart example (registry + pipeline on both backends) and a small
+# 2-worker scenario sweep (thread-pool engine + determinism cross-check).
+# Suitable as a CI entry point; exits non-zero on any failure.
+#
+# CHECK_TSAN=1 additionally builds the sweep + thread-safety tests under
+# ThreadSanitizer (separate build tree) and runs them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +19,22 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
 
 echo "--- smoke: examples/quickstart ---"
 "$BUILD_DIR"/examples/quickstart
+
+echo "--- smoke: 2-worker scenario sweep (small grid, both backends) ---"
+"$BUILD_DIR"/examples/pusch_sweep --workers 2 --fft 16,64 --snr 10,20,30
+"$BUILD_DIR"/examples/pusch_sweep --workers 2 --backend sim --fft 64 --snr 20
+"$BUILD_DIR"/bench/bench_throughput_sweep --slots 1 --snr-points 2
+
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+  echo "--- opt-in: ThreadSanitizer build of the concurrency tests ---"
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_sweep test_thread_safety test_rng
+  ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
+    -j "$JOBS" -R 'Sweep|ThreadSafety|Rng'
+fi
 
 echo "check.sh: all green"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/once_tables.h"
 
 namespace pp::ref {
 
@@ -23,6 +24,28 @@ std::vector<cd> dft(const std::vector<cd>& x) {
 
 namespace {
 
+// Stage twiddles w_j = wl^j for a length-`len` butterfly stage, built with
+// the same incremental product the loop below previously ran inline (so
+// results stay bit-identical) and cached per (log2(len), direction) under
+// std::call_once.  Scenario construction and golden receives run these FFTs
+// concurrently from sweep workers; the tables are immutable once built.
+const std::vector<cd>& stage_twiddles(size_t len, bool inverse) {
+  static common::Once_tables<cd, 64> cache;
+  size_t log2len = 0;
+  while ((size_t{1} << log2len) != len) ++log2len;
+  return cache.get(2 * log2len + (inverse ? 1 : 0), [len, inverse] {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cd wl{std::cos(ang), std::sin(ang)};
+    std::vector<cd> t(len / 2);
+    cd w{1.0, 0.0};
+    for (size_t j = 0; j < len / 2; ++j) {
+      t[j] = w;
+      w *= wl;
+    }
+    return t;
+  });
+}
+
 void fft_inplace(std::vector<cd>& a, bool inverse) {
   const size_t n = a.size();
   PP_CHECK((n & (n - 1)) == 0 && n > 0, "fft size must be a power of two");
@@ -34,16 +57,13 @@ void fft_inplace(std::vector<cd>& a, bool inverse) {
     if (i < j) std::swap(a[i], a[j]);
   }
   for (size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const cd wl{std::cos(ang), std::sin(ang)};
+    const std::vector<cd>& tw = stage_twiddles(len, inverse);
     for (size_t i = 0; i < n; i += len) {
-      cd w{1.0, 0.0};
       for (size_t j = 0; j < len / 2; ++j) {
         const cd u = a[i + j];
-        const cd v = a[i + j + len / 2] * w;
+        const cd v = a[i + j + len / 2] * tw[j];
         a[i + j] = u + v;
         a[i + j + len / 2] = u - v;
-        w *= wl;
       }
     }
   }

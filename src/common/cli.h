@@ -3,6 +3,8 @@
 #ifndef PUSCHPOOL_COMMON_CLI_H
 #define PUSCHPOOL_COMMON_CLI_H
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -30,6 +32,34 @@ class Cli {
     return fallback;
   }
 
+  // Value of "--name" as a validated non-negative 32-bit integer.
+  // Malformed or negative values print a readable error and exit 2.
+  uint32_t get_u32(const std::string& name, uint32_t fallback) const {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return parse_u32_or_die(name, args_[i + 1]);
+    }
+    return fallback;
+  }
+
+  // Value of "--name" as a comma-separated list of non-negative 32-bit
+  // integers ("64,256,1024"); same error behavior as get_u32().
+  std::vector<uint32_t> get_u32_list(const std::string& name,
+                                     const std::string& fallback) const {
+    const std::string s = get(name, fallback);
+    std::vector<uint32_t> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+      const size_t end = s.find(',', start);
+      const std::string tok = end == std::string::npos
+                                  ? s.substr(start)
+                                  : s.substr(start, end - start);
+      out.push_back(parse_u32_or_die(name, tok));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return out;
+  }
+
   // True if the bare flag "--name" appears anywhere.
   bool has(const std::string& name) const {
     for (const auto& a : args_) {
@@ -51,6 +81,19 @@ class Cli {
   }
 
  private:
+  static uint32_t parse_u32_or_die(const std::string& name,
+                                   const std::string& tok) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (tok.empty() || tok[0] == '-' || end != tok.c_str() + tok.size() ||
+        v > 0xfffffffful) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", tok.c_str(),
+                   name.c_str());
+      std::exit(2);
+    }
+    return static_cast<uint32_t>(v);
+  }
+
   std::vector<std::string> args_;
 };
 

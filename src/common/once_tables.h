@@ -1,0 +1,38 @@
+// Fixed-slot lazy table cache: up to N immutable vectors, each built on
+// first use under std::call_once and never written again, so concurrent
+// readers need no lock after the build.  This is the one shared shape behind
+// the FFT twiddle caches (Q15 and double-precision stage twiddles) and the
+// QAM constellation cache; instances live as function-local statics at the
+// use sites.
+#ifndef PUSCHPOOL_COMMON_ONCE_TABLES_H
+#define PUSCHPOOL_COMMON_ONCE_TABLES_H
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pp::common {
+
+template <typename T, size_t N>
+class Once_tables {
+ public:
+  // Returns the table in `slot`, building it with `build()` exactly once
+  // across all threads.  The reference stays valid for the cache's lifetime.
+  template <typename Build>
+  const std::vector<T>& get(size_t slot, Build build) {
+    PP_CHECK(slot < N, "lazy-table slot out of range");
+    std::call_once(flags_[slot], [&] { tables_[slot] = build(); });
+    return tables_[slot];
+  }
+
+ private:
+  std::array<std::once_flag, N> flags_;
+  std::array<std::vector<T>, N> tables_;
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_ONCE_TABLES_H

@@ -40,9 +40,22 @@ class Rng {
   // Uniform in [0, 1).
   double uniform() { return next_u32() * 0x1p-32; }
 
-  // Uniform integer in [0, n).
+  // Uniform integer in [0, n); n = 0 yields 0.  Lemire's multiply-shift with
+  // rejection: exactly uniform for every n, and integer-only — the old
+  // `uniform() * n` float path truncated through a double rounding step,
+  // which biases buckets and (for n close to 2^32) risks returning n.
   uint32_t uniform_int(uint32_t n) {
-    return static_cast<uint32_t>(uniform() * n);
+    if (n == 0) return 0;
+    uint64_t m = static_cast<uint64_t>(next_u32()) * n;
+    uint32_t low = static_cast<uint32_t>(m);
+    if (low < n) {
+      const uint32_t threshold = (0u - n) % n;  // 2^32 mod n
+      while (low < threshold) {
+        m = static_cast<uint64_t>(next_u32()) * n;
+        low = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
   }
 
   // Standard normal N(0,1) via Box-Muller.
@@ -56,6 +69,18 @@ class Rng {
   // Circularly-symmetric complex normal with E[|z|^2] = 1.
   std::complex<double> cnormal() {
     return {normal() * M_SQRT1_2, normal() * M_SQRT1_2};
+  }
+
+  // Deterministic per-stream seed derivation: SplitMix64 over
+  // base + (stream + 1) * golden-gamma.  Streams of the same base are
+  // decorrelated, the map is pure (no global state), and it is the
+  // documented contract for the sweep engine's per-slot seeds:
+  //   slot seed = Rng::derive_seed(base_seed, slot_index).
+  static uint64_t derive_seed(uint64_t base, uint64_t stream) {
+    uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
   }
 
  private:

@@ -1,0 +1,27 @@
+#include "common/twiddle.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/once_tables.h"
+
+namespace pp::common {
+
+const std::vector<cq15>& twiddle_q15(uint32_t n) {
+  PP_CHECK(n >= 2 && (n & (n - 1)) == 0,
+           "twiddle table size must be a power of two");
+  static Once_tables<cq15, 32> cache;  // one slot per power of two
+  uint32_t log2n = 0;
+  while ((1u << log2n) != n) ++log2n;
+  return cache.get(log2n, [n] {
+    std::vector<cq15> t(n);
+    for (uint32_t e = 0; e < n; ++e) {
+      const double ang =
+          -2.0 * M_PI * static_cast<double>(e) / static_cast<double>(n);
+      t[e] = to_cq15({std::cos(ang), std::sin(ang)});
+    }
+    return t;
+  });
+}
+
+}  // namespace pp::common

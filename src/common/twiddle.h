@@ -1,0 +1,25 @@
+// Shared, thread-safe FFT twiddle-factor table.
+//
+// Q15 forward twiddles for a size-n transform (entry e holds
+// round(exp(-2*pi*i*e/n)) in Q1.15) are built on first use under
+// std::call_once and cached per size for the lifetime of the process.
+// Every FFT kernel instance of the same size reads the same immutable
+// table, so concurrent sweep workers neither race on initialization nor
+// recompute n sin/cos pairs per kernel construction.
+#ifndef PUSCHPOOL_COMMON_TWIDDLE_H
+#define PUSCHPOOL_COMMON_TWIDDLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/complex16.h"
+
+namespace pp::common {
+
+// n must be a power of two >= 2 (the radix-4 kernels use powers of four).
+// The returned reference stays valid for the lifetime of the process.
+const std::vector<cq15>& twiddle_q15(uint32_t n);
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_TWIDDLE_H

@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "common/complex16.h"
+#include "common/twiddle.h"
 
 namespace pp::kernels {
 
@@ -98,11 +99,10 @@ struct Fft_geom {
   // sub-FFT (they alone exchange data with stage k+1).
   uint32_t sync_group_cores(uint32_t k) const { return d(k) / 4; }
 
-  // Twiddle factor W_n^e in Q15 (forward transform).
+  // Twiddle factor W_n^e in Q15 (forward transform), served from the shared
+  // thread-safe per-size table (common/twiddle.h).
   common::cq15 twiddle(uint32_t e) const {
-    const double ang = -2.0 * M_PI * static_cast<double>(e % n) /
-                       static_cast<double>(n);
-    return common::to_cq15({std::cos(ang), std::sin(ang)});
+    return common::twiddle_q15(n)[e % n];
   }
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/once_tables.h"
 
 namespace pp::phy {
 
@@ -36,21 +37,35 @@ uint32_t qam_bits(Qam q) {
   return 0;
 }
 
+const std::vector<cd>& qam_table(Qam q) {
+  static common::Once_tables<cd, 4> cache;
+  const uint32_t bps = qam_bits(q);  // also rejects bad orders
+  return cache.get(bps / 2 - 1, [q, bps] {
+    const uint32_t half = bps / 2;
+    const uint32_t levels = 1u << half;
+    const double s = axis_scale(levels);
+    std::vector<cd> t(static_cast<uint32_t>(q));
+    for (uint32_t v = 0; v < t.size(); ++v) {
+      const uint32_t gi = v >> half;
+      const uint32_t gq = v & (levels - 1);
+      const double vi = 2.0 * gray_to_level(gi) - (levels - 1);
+      const double vq = 2.0 * gray_to_level(gq) - (levels - 1);
+      t[v] = cd{vi * s, vq * s};
+    }
+    return t;
+  });
+}
+
 std::vector<cd> qam_modulate(Qam q, const std::vector<uint8_t>& bits) {
   const uint32_t bps = qam_bits(q);
   PP_CHECK(bits.size() % bps == 0, "bit count not a multiple of bits/symbol");
-  const uint32_t half = bps / 2;
-  const uint32_t levels = 1u << half;
-  const double s = axis_scale(levels);
+  const auto& table = qam_table(q);
 
   std::vector<cd> out(bits.size() / bps);
   for (size_t i = 0; i < out.size(); ++i) {
-    uint32_t gi = 0, gq = 0;
-    for (uint32_t b = 0; b < half; ++b) gi = (gi << 1) | bits[i * bps + b];
-    for (uint32_t b = half; b < bps; ++b) gq = (gq << 1) | bits[i * bps + b];
-    const double vi = 2.0 * gray_to_level(gi) - (levels - 1);
-    const double vq = 2.0 * gray_to_level(gq) - (levels - 1);
-    out[i] = cd{vi * s, vq * s};
+    uint32_t v = 0;
+    for (uint32_t b = 0; b < bps; ++b) v = (v << 1) | bits[i * bps + b];
+    out[i] = table[v];
   }
   return out;
 }
@@ -80,15 +95,6 @@ std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols) {
   return bits;
 }
 
-std::vector<cd> qam_constellation(Qam q) {
-  const uint32_t bps = qam_bits(q);
-  std::vector<uint8_t> bits;
-  for (uint32_t v = 0; v < static_cast<uint32_t>(q); ++v) {
-    for (uint32_t b = 0; b < bps; ++b) {
-      bits.push_back((v >> (bps - 1 - b)) & 1);
-    }
-  }
-  return qam_modulate(q, bits);
-}
+std::vector<cd> qam_constellation(Qam q) { return qam_table(q); }
 
 }  // namespace pp::phy

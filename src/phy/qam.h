@@ -25,6 +25,13 @@ std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols);
 // The constellation itself (for tests / EVM references).
 std::vector<cd> qam_constellation(Qam q);
 
+// Cached constellation table for order q, indexed by the bits-per-symbol
+// bit pattern (MSB-first, I bits then Q bits) — entry v is exactly the point
+// qam_modulate maps that pattern to.  Built on first use under
+// std::call_once and immutable afterwards, so concurrent sweep workers can
+// modulate without racing on initialization.
+const std::vector<cd>& qam_table(Qam q);
+
 }  // namespace pp::phy
 
 #endif  // PUSCHPOOL_PHY_QAM_H

@@ -14,6 +14,8 @@ Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
             rng_),
       codebook_(dft_codebook(cfg.n_rx, cfg.n_beams)) {
   PP_CHECK(cfg_.fft_size >= cfg_.n_sc, "FFT size must cover active carriers");
+  PP_CHECK(cfg_.n_symb > cfg_.n_pilot_symb,
+           "slot needs at least one data symbol after the pilots");
   const uint32_t bps = qam_bits(cfg_.qam);
   const uint32_t n_data = cfg_.n_symb - cfg_.n_pilot_symb;
 

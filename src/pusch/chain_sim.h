@@ -2,9 +2,12 @@
 // pusch/use_case_rollup.h (and is now a preset over runtime::Pipeline).
 // This header existed alongside the confusingly-named sim_chain.h (the
 // functional end-to-end chain, now pusch/uplink_chain.h); include the new
-// headers directly.
+// headers directly.  Including this shim is a loud compile-time diagnostic,
+// no longer a silent alias; it will be removed in a future PR.
 #ifndef PUSCHPOOL_PUSCH_CHAIN_SIM_H
 #define PUSCHPOOL_PUSCH_CHAIN_SIM_H
+
+#warning "pusch/chain_sim.h is deprecated: include pusch/use_case_rollup.h instead"
 
 #include "pusch/use_case_rollup.h"
 

@@ -2,9 +2,13 @@
 // pusch/uplink_chain.h (and is now a preset over runtime::Pipeline run on
 // the "sim" backend).  This header existed alongside the confusingly-named
 // chain_sim.h (the analytic use-case roll-up, now pusch/use_case_rollup.h);
-// include the new headers directly.
+// include the new headers directly.  Including this shim is a loud
+// compile-time diagnostic, no longer a silent alias; it will be removed in
+// a future PR.
 #ifndef PUSCHPOOL_PUSCH_SIM_CHAIN_H
 #define PUSCHPOOL_PUSCH_SIM_CHAIN_H
+
+#warning "pusch/sim_chain.h is deprecated: include pusch/uplink_chain.h instead"
 
 #include "pusch/uplink_chain.h"
 

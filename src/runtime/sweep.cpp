@@ -1,0 +1,159 @@
+#include "runtime/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "runtime/backend.h"
+
+namespace pp::runtime {
+
+std::vector<Sweep_point> Sweep_grid::points() const {
+  std::vector<Sweep_point> out;
+  out.reserve(n_points());
+  for (const uint32_t fft : fft_sizes) {
+    for (const uint32_t ue : ue_counts) {
+      for (const phy::Qam q : qam_orders) {
+        for (const double snr : snr_db) {
+          out.push_back(Sweep_point{fft, ue, q, snr});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t Sweep_grid::n_points() const {
+  return static_cast<uint64_t>(fft_sizes.size()) * ue_counts.size() *
+         qam_orders.size() * snr_db.size();
+}
+
+phy::Uplink_config Sweep_runner::slot_config(const Sweep_grid& grid,
+                                             const Sweep_point& point,
+                                             uint64_t slot_index) {
+  PP_CHECK(grid.n_symb > grid.n_pilot_symb,
+           "sweep grid needs at least one data symbol after the pilots");
+  phy::Uplink_config c;
+  c.n_sc = point.fft_size;  // sim backend rule: all bins active
+  c.fft_size = point.fft_size;
+  c.n_rx = grid.n_rx;
+  c.n_beams = grid.n_beams;
+  c.n_ue = point.n_ue;
+  c.n_symb = grid.n_symb;
+  c.n_pilot_symb = grid.n_pilot_symb;
+  c.qam = point.qam;
+  // Per-antenna signal power of the Rayleigh model: each of the n_ue paths
+  // contributes E|h|^2 E|x|^2 = (channel_gain * ue_power)^2.
+  const double gp = grid.channel_gain * grid.ue_power;
+  c.sigma2 = point.n_ue * gp * gp * std::pow(10.0, -point.snr_db / 10.0);
+  c.ue_power = grid.ue_power;
+  c.channel_gain = grid.channel_gain;
+  c.coherence = grid.coherence;
+  c.seed = slot_seed(grid.base_seed, slot_index);
+  return c;
+}
+
+Sweep_runner::Sweep_runner(Sweep_options opt) : opt_(std::move(opt)) {}
+
+Sweep_result Sweep_runner::run(const Sweep_grid& grid) const {
+  const std::vector<Sweep_point> points = grid.points();
+  const uint64_t per_point = grid.slots_per_point;
+  const uint64_t n_slots = points.size() * per_point;
+
+  uint32_t workers = opt_.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  if (workers > n_slots) workers = static_cast<uint32_t>(std::max<uint64_t>(n_slots, 1));
+
+  const Pipeline pipeline = uplink_pipeline(opt_.cluster, opt_.uplink);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Workers pull global slot indices from the cursor and write results into
+  // their own pre-sized element — no locks, no shared mutable kernel state
+  // (each worker instantiates a private Backend; the lazily-built twiddle /
+  // QAM tables are call_once-guarded and immutable afterwards).
+  std::vector<Slot_result> slots(n_slots);
+  std::atomic<uint64_t> cursor{0};
+  auto work = [&] {
+    const std::unique_ptr<Backend> backend = make_backend(opt_.backend);
+    for (;;) {
+      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_slots) break;
+      const Sweep_point& pt = points[i / per_point];
+      const phy::Uplink_scenario sc(slot_config(grid, pt, i));
+      slots[i] = pipeline.execute(sc, *backend);
+    }
+  };
+  if (n_slots > 0) {
+    if (workers <= 1) {
+      work();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
+      for (auto& t : pool) t.join();
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Aggregate in slot-index order so the roll-up (including its
+  // floating-point sums) is independent of worker scheduling.
+  Sweep_result out;
+  out.backend = opt_.backend;
+  out.workers = workers;
+  out.total_slots = n_slots;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.points.resize(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    auto& row = out.points[p];
+    row.point = points[p];
+    row.slots = static_cast<uint32_t>(per_point);
+    double evm2 = 0.0, ber = 0.0, sigma2 = 0.0;
+    for (uint64_t j = p * per_point; j < (p + 1) * per_point; ++j) {
+      const Slot_result& s = slots[j];
+      evm2 += s.evm * s.evm;
+      ber += s.ber;
+      sigma2 += s.sigma2_hat;
+      row.cycles += s.total_cycles();
+    }
+    if (per_point > 0) {
+      row.evm = std::sqrt(evm2 / per_point);
+      row.ber = ber / per_point;
+      row.sigma2_hat = sigma2 / per_point;
+    }
+    out.total_cycles += row.cycles;
+  }
+  if (opt_.keep_slots) out.slots = std::move(slots);
+  return out;
+}
+
+std::string Sweep_result::str() const {
+  common::Table t({"fft", "UEs", "QAM", "SNR dB", "slots", "EVM %", "BER",
+                   "sigma2^", "cycles"});
+  for (const auto& row : points) {
+    t.add_row({common::Table::fmt(static_cast<uint64_t>(row.point.fft_size)),
+               common::Table::fmt(static_cast<uint64_t>(row.point.n_ue)),
+               common::Table::fmt(static_cast<uint64_t>(row.point.qam)),
+               common::Table::fmt(row.point.snr_db, 1),
+               common::Table::fmt(static_cast<uint64_t>(row.slots)),
+               common::Table::fmt(100.0 * row.evm, 2),
+               common::Table::fmt(row.ber, 5),
+               common::Table::fmt(row.sigma2_hat, 8),
+               common::Table::fmt(row.cycles)});
+  }
+  char footer[160];
+  std::snprintf(footer, sizeof footer,
+                "%llu slots on the %s backend, %u worker%s: %.3f s wall, "
+                "%.1f slots/s\n",
+                static_cast<unsigned long long>(total_slots), backend.c_str(),
+                workers, workers == 1 ? "" : "s", wall_seconds,
+                slots_per_second());
+  return t.str() + footer;
+}
+
+}  // namespace pp::runtime

@@ -1,0 +1,127 @@
+// Multi-threaded scenario sweep engine.
+//
+// A Sweep_grid spans a scenario space — numerologies (FFT size = active
+// sub-carriers), UE counts, QAM orders, SNR points — with `slots_per_point`
+// independently-faded slots per grid point.  Sweep_runner executes every
+// slot of the grid on a host thread pool: workers pull global slot indices
+// from an atomic cursor, each owns a private Backend instance, and each slot
+// is generated from a seed derived purely from (base_seed, slot_index)
+// (common::Rng::derive_seed — SplitMix64).  Because a slot's result depends
+// only on the grid and its index, and aggregation walks slots in index
+// order, an N-worker run is bit-identical to the 1-worker run regardless of
+// how the OS schedules the pool.
+//
+// The per-point roll-up gives EVM/BER-vs-SNR curves, mean estimated noise,
+// and summed simulated cycles (zero on the reference backend); the totals
+// give wall-clock slots/sec — the throughput figure the paper's slot-budget
+// argument is about.
+//
+// Driven by name through the registry/preset layer: the pipeline is the
+// uplink_pipeline() preset over a named cluster, the backend comes from
+// make_backend("sim"|"reference").  examples/pusch_sweep.cpp is the CLI,
+// bench/bench_throughput_sweep.cpp the throughput harness.
+#ifndef PUSCHPOOL_RUNTIME_SWEEP_H
+#define PUSCHPOOL_RUNTIME_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "phy/uplink.h"
+#include "runtime/presets.h"
+
+namespace pp::runtime {
+
+// One point of the scenario grid.
+struct Sweep_point {
+  uint32_t fft_size = 64;  // == active sub-carriers (the sim backend's rule)
+  uint32_t n_ue = 2;
+  phy::Qam qam = phy::Qam::qam16;
+  double snr_db = 30.0;
+};
+
+struct Sweep_grid {
+  // Axes; the cartesian product is walked numerology-outermost,
+  // SNR-innermost.  An empty axis makes the grid empty.
+  std::vector<uint32_t> fft_sizes = {64};      // powers of 4 (radix-4 kernels)
+  std::vector<uint32_t> ue_counts = {2};
+  std::vector<phy::Qam> qam_orders = {phy::Qam::qam16};
+  std::vector<double> snr_db = {30.0};
+  uint32_t slots_per_point = 1;  // independently-faded slots per point
+
+  // Scenario knobs shared by every point.
+  uint32_t n_rx = 4;
+  uint32_t n_beams = 4;
+  uint32_t n_symb = 4;  // OFDM symbols per slot, incl. pilots
+  uint32_t n_pilot_symb = 2;
+  double ue_power = 0.08;
+  double channel_gain = 0.25;
+  uint32_t coherence = 16;
+  uint64_t base_seed = 1;
+
+  // Grid points in deterministic walk order.
+  std::vector<Sweep_point> points() const;
+  uint64_t n_points() const;
+  uint64_t n_slots() const { return n_points() * slots_per_point; }
+};
+
+struct Sweep_options {
+  uint32_t workers = 0;  // 0 = hardware_concurrency (min 1)
+  std::string backend = "reference";  // make_backend() name
+  arch::Cluster_config cluster = arch::Cluster_config::minipool();
+  Uplink_options uplink;  // preset knobs (FFT gangs, Cholesky batching)
+  bool keep_slots = true;  // retain per-slot results (the bit-exact surface)
+};
+
+struct Sweep_result {
+  struct Point {
+    Sweep_point point;
+    uint32_t slots = 0;
+    double evm = 0.0;         // rms over the point's slots
+    double ber = 0.0;         // mean over the point's slots
+    double sigma2_hat = 0.0;  // mean NE output
+    uint64_t cycles = 0;      // summed simulated cycles (0 on reference)
+  };
+  std::vector<Point> points;
+  // Per-slot results in grid order (empty when keep_slots is off).
+  std::vector<Slot_result> slots;
+
+  std::string backend;
+  uint32_t workers = 0;
+  uint64_t total_slots = 0;
+  uint64_t total_cycles = 0;  // simulated cycles across all slots
+  double wall_seconds = 0.0;
+  double slots_per_second() const {
+    return wall_seconds > 0.0 ? total_slots / wall_seconds : 0.0;
+  }
+
+  // ASCII table of the per-point curves plus a throughput footer.
+  std::string str() const;
+};
+
+class Sweep_runner {
+ public:
+  explicit Sweep_runner(Sweep_options opt = {});
+
+  const Sweep_options& options() const { return opt_; }
+
+  Sweep_result run(const Sweep_grid& grid) const;
+
+  // --- the deterministic seed/config contract (pinned by tests) ---------
+  // Seed of slot `slot_index` of a sweep with the given base seed.
+  static uint64_t slot_seed(uint64_t base_seed, uint64_t slot_index) {
+    return common::Rng::derive_seed(base_seed, slot_index);
+  }
+  // Full scenario config of one slot: grid knobs + point axes + derived
+  // noise (sigma2 = n_ue * (channel_gain * ue_power)^2 * 10^(-snr/10), the
+  // per-antenna signal power of the Rayleigh model) + the slot seed.
+  static phy::Uplink_config slot_config(const Sweep_grid& grid,
+                                        const Sweep_point& point,
+                                        uint64_t slot_index);
+
+ private:
+  Sweep_options opt_;
+};
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_SWEEP_H

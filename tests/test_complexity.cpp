@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/table.h"
-#include "pusch/chain_sim.h"
+#include "pusch/use_case_rollup.h"
 #include "pusch/complexity.h"
 
 namespace {

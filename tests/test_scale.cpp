@@ -9,7 +9,7 @@
 #include "kernels/fft.h"
 #include "kernels/mmm.h"
 #include "phy/uplink.h"
-#include "pusch/sim_chain.h"
+#include "pusch/uplink_chain.h"
 
 namespace {
 

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "phy/uplink.h"
-#include "pusch/sim_chain.h"
+#include "pusch/uplink_chain.h"
 
 namespace {
 

@@ -1,0 +1,126 @@
+// Hammers every lazily-initialized shared table from many threads at once:
+// the Q15 FFT twiddle cache (common/twiddle.h), the reference FFT's stage
+// twiddles (exercised through ref::fft/ifft), the QAM constellation cache,
+// and the kernel registry.  Each table must build exactly once under
+// std::call_once and serve bit-identical values to every thread — the
+// precondition for the sweep engine's N-worker == 1-worker guarantee.
+// Run these under ThreadSanitizer via CHECK_TSAN=1 scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "common/twiddle.h"
+#include "phy/qam.h"
+#include "runtime/registry.h"
+
+namespace {
+
+using namespace pp;
+
+// First-touch of every cache in this test binary happens inside the
+// concurrent phase (no warm-up call from the main thread), so the
+// build-on-first-use path itself is what races if unguarded.
+template <typename Fn>
+void hammer(unsigned n_threads, Fn fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(fn, t);
+  for (auto& th : pool) th.join();
+}
+
+TEST(ThreadSafety, TwiddleTableConcurrentFirstUse) {
+  constexpr unsigned kThreads = 8;
+  const std::vector<uint32_t> sizes = {16, 64, 256, 1024};
+  std::vector<int> failures(kThreads, 0);
+  hammer(kThreads, [&](unsigned t) {
+    for (int rep = 0; rep < 50; ++rep) {
+      for (const uint32_t n : sizes) {
+        const auto& table = common::twiddle_q15(n);
+        if (table.size() != n) ++failures[t];
+        // Spot-check entries against the defining formula.
+        for (const uint32_t e : {0u, 1u, n / 4, n - 1}) {
+          const double ang = -2.0 * M_PI * e / n;
+          const auto want = common::to_cq15({std::cos(ang), std::sin(ang)});
+          if (!(table[e] == want)) ++failures[t];
+        }
+      }
+    }
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(ThreadSafety, ReferenceFftConcurrentFirstUse) {
+  constexpr unsigned kThreads = 8;
+  const uint32_t n = 256;
+  common::Rng rng(5);
+  std::vector<ref::cd> x(n);
+  for (auto& v : x) v = rng.cnormal();
+
+  // Every thread computes the same transform (first use builds the stage
+  // twiddle tables); all results must agree bit-for-bit.
+  std::vector<std::vector<ref::cd>> got(kThreads);
+  hammer(kThreads, [&](unsigned t) { got[t] = ref::ifft(ref::fft(x)); });
+  for (unsigned t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), got[0].size());
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[t][i].real(), got[0][i].real());
+      EXPECT_EQ(got[t][i].imag(), got[0][i].imag());
+    }
+  }
+  // And the round trip stays a faithful identity.
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(got[0][i] - x[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(ThreadSafety, QamTableConcurrentFirstUse) {
+  constexpr unsigned kThreads = 8;
+  const std::vector<phy::Qam> orders = {phy::Qam::qpsk, phy::Qam::qam16,
+                                        phy::Qam::qam64, phy::Qam::qam256};
+  std::vector<int> failures(kThreads, 0);
+  hammer(kThreads, [&](unsigned t) {
+    for (int rep = 0; rep < 50; ++rep) {
+      for (const phy::Qam q : orders) {
+        const auto& table = phy::qam_table(q);
+        if (table.size() != static_cast<uint32_t>(q)) ++failures[t];
+        // Unit average symbol energy, the constellation invariant.
+        double e = 0.0;
+        for (const auto& s : table) e += std::norm(s);
+        if (std::abs(e / table.size() - 1.0) > 1e-12) ++failures[t];
+        // Modulate/demodulate round trip through the shared table.
+        const uint32_t bps = phy::qam_bits(q);
+        std::vector<uint8_t> bits(bps * 4);
+        for (size_t i = 0; i < bits.size(); ++i) {
+          bits[i] = static_cast<uint8_t>((i + t + rep) % 2);
+        }
+        const auto symbols = phy::qam_modulate(q, bits);
+        if (phy::qam_demodulate(q, symbols) != bits) ++failures[t];
+      }
+    }
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(ThreadSafety, RegistryConcurrentKernelCreation) {
+  // Registry::instance() initializes on first use; concurrent make() calls
+  // (each on a private machine, as sweep workers do) must agree on results.
+  constexpr unsigned kThreads = 4;
+  std::vector<uint64_t> cycles(kThreads, 0);
+  hammer(kThreads, [&](unsigned t) {
+    const auto cfg = arch::Cluster_config::minipool();
+    sim::Machine m(cfg);
+    arch::L1_alloc alloc(m.config());
+    auto k = runtime::make_kernel("fft.serial", m, alloc,
+                                  runtime::Params().set("n", 64u));
+    common::Rng rng(1);
+    k->bind_default_inputs(rng);
+    cycles[t] = k->launch().cycles;
+  });
+  for (unsigned t = 1; t < kThreads; ++t) EXPECT_EQ(cycles[t], cycles[0]);
+}
+
+}  // namespace
