@@ -1,0 +1,228 @@
+// Intra-slot host-parallel scaling: per-stage and whole-slot speedup of
+// runtime::Parallel_backend vs. worker count, echoing the paper's Fig. 9
+// (kernel speedups 9a/9b, full use case 9c) on the double-precision host
+// path instead of the simulated cluster.
+//
+// Per-stage rows time the same tiled sub-kernels the backend dispatches
+// (ref::fft_stage_blocks fan-out, ref::matmul_rows, ref::gram_rows,
+// per-UE-batch ref::lmmse) on a common::Thread_pool; the slot row runs the
+// full receive chain through the backend.  Every row of every run is
+// checked bit-identical to the first --workers entry's run before its
+// speedup is reported - the determinism contract of docs/DETERMINISM.md is
+// re-verified on every invocation, not just in the test suite.
+//
+//   ./bench/bench_parallel_scaling                  # workers 1,2,4,8
+//   ./bench/bench_parallel_scaling --workers 1,2,16 --fft 4096 --batches 2048
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/reference.h"
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "runtime/backend_parallel.h"
+#include "runtime/presets.h"
+
+namespace {
+
+using namespace pp;
+using common::Table;
+using common::Thread_pool;
+using ref::cd;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-3 wall time of fn() (first call may also warm lazy tables).
+template <typename Fn>
+double time_best(Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+std::vector<cd> random_cd(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cd> x(n);
+  for (auto& v : x) v = rng.cnormal();
+  return x;
+}
+
+struct Stage_timing {
+  std::string name;
+  std::vector<double> seconds;  // one entry per worker count
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  const std::vector<uint32_t> worker_counts =
+      cli.get_u32_list("--workers", "1,2,4,8");
+  const uint32_t fft_size = cli.get_u32("--fft", 4096);
+  const uint32_t n_ffts = cli.get_u32("--ffts", 32);
+  const uint32_t mmm_rows = cli.get_u32("--rows", 4096);
+  const uint32_t batches = cli.get_u32("--batches", 4096);
+
+  bench::banner("intra-slot host-parallel scaling (paper Fig. 9 analogue)",
+                "per-stage + whole-slot speedup of the 'parallel' backend; "
+                "every row of every run is checked bit-identical to the "
+                "first --workers entry's run");
+  std::printf("host: %u hardware threads\n\n",
+              std::thread::hardware_concurrency());
+
+  // ---- per-stage tiles (Fig. 9a/9b analogue) ------------------------------
+  const uint32_t n_rx = 64, n_beams = 32, n_ue = 4;
+  const auto fft_in = random_cd(fft_size, 1);
+  const auto mf_a = random_cd(static_cast<size_t>(mmm_rows) * n_rx, 2);
+  const auto mf_b = random_cd(static_cast<size_t>(n_rx) * n_beams, 3);
+  const auto gram_a = random_cd(static_cast<size_t>(mmm_rows) * n_rx, 4);
+  const auto chol_h = random_cd(static_cast<size_t>(n_beams) * n_ue, 5);
+  const auto chol_y = random_cd(n_beams, 6);
+
+  std::vector<Stage_timing> rows = {
+      {"FFT fan-out (" + std::to_string(n_ffts) + " x " +
+           std::to_string(fft_size) + ")",
+       {}},
+      {"matched filter MMM (" + std::to_string(mmm_rows) + " x " +
+           std::to_string(n_rx) + " x " + std::to_string(n_beams) + ")",
+       {}},
+      {"Gram rows (" + std::to_string(mmm_rows) + " x " +
+           std::to_string(n_rx) + ")",
+       {}},
+      {"Cholesky+solve batches (" + std::to_string(batches) + " x " +
+           std::to_string(n_beams) + "x" + std::to_string(n_ue) + ")",
+       {}},
+      {"full slot (parallel backend)", {}},
+  };
+
+  // Whole-slot scenario: a heavy config so the parallel regions dominate.
+  phy::Uplink_config slot_cfg;
+  slot_cfg.n_sc = 1024;
+  slot_cfg.fft_size = 1024;
+  slot_cfg.n_rx = 8;
+  slot_cfg.n_beams = 8;
+  slot_cfg.n_ue = 4;
+  slot_cfg.n_symb = 8;
+  slot_cfg.n_pilot_symb = 2;
+  slot_cfg.qam = phy::Qam::qam64;
+  slot_cfg.seed = 7;
+  const phy::Uplink_scenario slot_sc(slot_cfg);
+  const runtime::Pipeline pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool());
+
+  runtime::Slot_result slot_serial;
+  std::vector<std::vector<cd>> fft_serial;
+  std::vector<cd> mf_serial, gram_serial;
+  std::vector<std::vector<cd>> chol_serial;
+
+  // Baseline for the "bit-identical" checks and the speedup column: the
+  // first entry of --workers (1 by default).
+  const uint32_t base_workers = std::max(1u, worker_counts.at(0));
+
+  for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
+    const uint32_t w = std::max(1u, worker_counts[wi]);
+    Thread_pool pool(w);
+
+    // FFT fan-out over n_ffts independent transforms.
+    std::vector<std::vector<cd>> fft_out(n_ffts);
+    rows[0].seconds.push_back(time_best([&] {
+      pool.parallel_for(n_ffts,
+                        [&](uint64_t i) { fft_out[i] = ref::fft(fft_in); });
+    }));
+    if (wi == 0) {
+      fft_serial = fft_out;
+    } else if (fft_out != fft_serial) {
+      std::fprintf(stderr, "FFT fan-out not bit-identical at %u workers\n", w);
+      return 1;
+    }
+
+    // Matched-filter MMM, row-block tiled.
+    std::vector<cd> mf_c(static_cast<size_t>(mmm_rows) * n_beams);
+    rows[1].seconds.push_back(time_best([&] {
+      pool.run([&](uint32_t id) {
+        const auto [first, last] = Thread_pool::slice(mmm_rows, id, w);
+        ref::matmul_rows(mf_a, mf_b, mf_c, mmm_rows, n_rx, n_beams, first,
+                         last);
+      });
+    }));
+    if (wi == 0) {
+      mf_serial = mf_c;
+    } else if (mf_c != mf_serial) {
+      std::fprintf(stderr, "MMM rows not bit-identical at %u workers\n", w);
+      return 1;
+    }
+
+    // Gram rows (A^H A of a tall matrix), row-block tiled.
+    std::vector<cd> gram_g(static_cast<size_t>(n_rx) * n_rx);
+    rows[2].seconds.push_back(time_best([&] {
+      pool.run([&](uint32_t id) {
+        const auto [first, last] = Thread_pool::slice(n_rx, id, w);
+        ref::gram_rows(gram_a, gram_g, mmm_rows, n_rx, first, last);
+      });
+    }));
+    if (wi == 0) {
+      gram_serial = gram_g;
+    } else if (gram_g != gram_serial) {
+      std::fprintf(stderr, "Gram rows not bit-identical at %u workers\n", w);
+      return 1;
+    }
+
+    // Per-UE-batch Cholesky + substitutions, batches sliced across workers.
+    std::vector<std::vector<cd>> xs(batches);
+    rows[3].seconds.push_back(time_best([&] {
+      pool.parallel_for(batches, [&](uint64_t i) {
+        xs[i] = ref::lmmse(chol_h, chol_y, n_beams, n_ue, 1e-3);
+      });
+    }));
+    if (wi == 0) {
+      chol_serial = xs;
+    } else if (xs != chol_serial) {
+      std::fprintf(stderr, "Cholesky batches not bit-identical at %u workers\n",
+                   w);
+      return 1;
+    }
+
+    // Full slot through the backend, parity-checked against 1 worker.
+    runtime::Parallel_backend backend(w);
+    runtime::Slot_result slot;
+    rows[4].seconds.push_back(
+        time_best([&] { slot = pipeline.execute(slot_sc, backend); }));
+    if (wi == 0) {
+      slot_serial = slot;
+    } else if (slot.bits != slot_serial.bits || slot.evm != slot_serial.evm ||
+               slot.ber != slot_serial.ber ||
+               slot.sigma2_hat != slot_serial.sigma2_hat) {
+      std::fprintf(stderr, "slot result not bit-identical at %u workers\n", w);
+      return 1;
+    }
+  }
+
+  std::vector<std::string> header = {
+      "stage", std::to_string(base_workers) + "w ms"};
+  for (const uint32_t w : worker_counts) {
+    header.push_back("x" + std::to_string(w) + "w");
+  }
+  Table t(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name,
+                                      Table::fmt(row.seconds[0] * 1e3, 2)};
+    for (const double s : row.seconds) {
+      cells.push_back(Table::fmt(row.seconds[0] / s, 2));
+    }
+    t.add_row(cells);
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf(
+      "\nspeedups are vs. this binary's own %u-worker run; all parallel "
+      "results verified bit-identical to it.\n",
+      base_workers);
+  return 0;
+}

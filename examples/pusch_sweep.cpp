@@ -6,10 +6,14 @@
 //   ./examples/pusch_sweep --backend reference --workers 8
 //       --fft 64,256,1024 --ue 2,4 --qam 4,16 --snr 0:30:6 --slots 2
 //   ./examples/pusch_sweep --backend sim --arch minipool --fft 64 --snr 20,30
+//   ./examples/pusch_sweep --backend parallel --workers 2 --intra 4
 //
-// List flags take comma-separated values; --snr also accepts lo:hi:step.
-// Per-slot seeds are Rng::derive_seed(--seed, slot_index), so results are
-// bit-identical for any --workers count.
+// --backend picks sim, reference, or parallel (the intra-slot parallel host
+// backend; --intra N sets its per-slot worker count, composing with the
+// slot-level --workers).  List flags take comma-separated values; --snr
+// also accepts lo:hi:step.  Per-slot seeds are Rng::derive_seed(--seed,
+// slot_index), so results are bit-identical for any --workers and --intra
+// counts (docs/DETERMINISM.md).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   runtime::Sweep_options opt;
   opt.backend = cli.get("--backend", "reference");
   opt.workers = cli.get_u32("--workers", 0);
+  opt.intra = cli.get_u32("--intra", 1);
   opt.cluster = bench::cluster_from_cli(cli, "minipool");
   opt.keep_slots = false;  // the CLI only reports the roll-up
 

@@ -7,12 +7,17 @@
 //   sim        the paper's fixed-point kernels on the simulated cluster
 //              (per-stage cycles, EVM/BER of the Q15 chain)
 //   reference  the double-precision host models (no cycles, instant)
+//   parallel   the host models split across --intra workers (default 1,
+//              0 = all hardware threads - same default as pusch_sweep);
+//              bits equal to reference by contract (docs/DETERMINISM.md)
 //
-// With --backend both (the default) the same Pipeline call runs on each
-// backend and the recovered payloads are cross-checked.
+// With --backend both (the default) the same Pipeline call runs on the sim
+// and reference backends and the recovered payloads are cross-checked;
+// --backend all adds the parallel backend to the cross-check.
 //
 //   ./examples/pusch_uplink_e2e [--arch mempool|terapool] [--ue N]
-//       [--qam 16] [--backend sim|reference|both] [--chol-batch N]
+//       [--qam 16] [--backend sim|reference|parallel|both|all]
+//       [--intra N] [--chol-batch N]
 //
 // The scenario is a scaled-down slot (256-pt grid, 16 antennas, 8 beams) so
 // the example runs in seconds; bench_fig9c_usecase covers the full-size
@@ -60,15 +65,21 @@ int main(int argc, char** argv) {
   const auto pipeline = runtime::uplink_pipeline(cluster, opt);
 
   const std::string which = cli.get("--backend", "both");
-  if (which != "sim" && which != "reference" && which != "both") {
-    std::fprintf(stderr, "unknown --backend %s (sim|reference|both)\n",
+  if (which != "sim" && which != "reference" && which != "parallel" &&
+      which != "both" && which != "all") {
+    std::fprintf(stderr,
+                 "unknown --backend %s (sim|reference|parallel|both|all)\n",
                  which.c_str());
     return 2;
   }
+  const uint32_t intra = cli.get_u32("--intra", 1);
   std::vector<runtime::Slot_result> results;
-  for (const auto* name : {"reference", "sim"}) {
-    if (which != name && which != "both") continue;
-    auto backend = runtime::make_backend(name);
+  for (const auto* name : {"reference", "sim", "parallel"}) {
+    const bool selected =
+        which == name || which == "all" ||
+        (which == "both" && std::string(name) != "parallel");
+    if (!selected) continue;
+    auto backend = runtime::make_backend(name, intra);
     results.push_back(pipeline.execute(sc, *backend));
     const auto& res = results.back();
     std::printf("\n%s backend (%s): EVM %5.2f%% | BER %.2e | sigma2_hat %.2e\n",
@@ -90,10 +101,12 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (const auto& res : results) ok &= res.ber == 0.0;
-  if (results.size() == 2) {
+  if (results.size() >= 2) {
     bool payload_match = true;
-    for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-      payload_match &= results[0].bits[l] == results[1].bits[l];
+    for (size_t i = 1; i < results.size(); ++i) {
+      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+        payload_match &= results[0].bits[l] == results[i].bits[l];
+      }
     }
     std::printf("\npayloads match across backends: %s\n",
                 payload_match ? "yes" : "NO");

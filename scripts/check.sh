@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + ctest, then smoke runs of the
-# quickstart example (registry + pipeline on both backends) and a small
-# 2-worker scenario sweep (thread-pool engine + determinism cross-check).
-# Suitable as a CI entry point; exits non-zero on any failure.
+# quickstart example (registry + pipeline on both backends) and small
+# scenario sweeps (thread-pool engine + determinism cross-check, including
+# the intra-slot 'parallel' backend), a markdown link check over README +
+# docs/, and a compile check that the deprecated pusch/ shims still emit
+# their #warning.  Suitable as a CI entry point; exits non-zero on any
+# failure.
 #
-# CHECK_TSAN=1 additionally builds the sweep + thread-safety tests under
-# ThreadSanitizer (separate build tree) and runs them.
+# CHECK_TSAN=1 additionally builds the concurrency tests (sweep engine,
+# shared lazy tables, parallel backend) under ThreadSanitizer in a separate
+# build tree and runs them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,13 +21,62 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
 
+echo "--- markdown link check: README.md + docs/ ---"
+# Every relative [text](path) link must resolve against the linking file's
+# own directory - GitHub's rendering rule (anchors and external
+# http(s)/mailto links are skipped).
+link_errors=0
+for md in README.md docs/*.md; do
+  dir="$(dirname "$md")"
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [[ -z "$target" ]] && continue
+    if [[ ! -e "$dir/$target" ]]; then
+      echo "broken link in $md: $link"
+      link_errors=$((link_errors + 1))
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [[ "$link_errors" -gt 0 ]]; then
+  echo "markdown link check failed: $link_errors broken link(s)"
+  exit 1
+fi
+echo "all markdown links resolve"
+
+echo "--- compile check: deprecated shims must still emit #warning ---"
+# Each shim must (a) still compile and (b) still print its deprecation
+# #warning - asserted on the actual diagnostic text, so an unrelated
+# compile failure cannot pass vacuously (test_deprecated_shims.cpp covers
+# the aliasing direction inside the test suite).
+CXX_CHECK="${CXX:-c++}"
+for shim in pusch/chain_sim.h pusch/sim_chain.h; do
+  if ! out=$(echo "#include \"$shim\"" | \
+             "$CXX_CHECK" -std=c++20 -x c++ -fsyntax-only -Isrc - 2>&1); then
+    echo "compiling $shim failed:"
+    echo "$out"
+    exit 1
+  fi
+  if ! grep -q "deprecated" <<<"$out"; then
+    echo "$shim no longer emits its deprecation #warning"
+    exit 1
+  fi
+done
+echo "both shims still compile and warn"
+
 echo "--- smoke: examples/quickstart ---"
 "$BUILD_DIR"/examples/quickstart
 
-echo "--- smoke: 2-worker scenario sweep (small grid, both backends) ---"
+echo "--- smoke: 2-worker scenario sweep (small grid, all three backends) ---"
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --backend sim --fft 64 --snr 20
+"$BUILD_DIR"/examples/pusch_sweep --workers 1 --backend parallel --intra 2 \
+    --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/bench/bench_throughput_sweep --slots 1 --snr-points 2
+"$BUILD_DIR"/bench/bench_parallel_scaling --workers 1,2 --fft 256 --ffts 8 \
+    --rows 256 --batches 128
 
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   echo "--- opt-in: ThreadSanitizer build of the concurrency tests ---"
@@ -32,9 +85,9 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_sweep test_thread_safety test_rng
+    --target test_sweep test_thread_safety test_rng test_backend_parallel
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
-    -j "$JOBS" -R 'Sweep|ThreadSafety|Rng'
+    -j "$JOBS" -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend'
 fi
 
 echo "check.sh: all green"

@@ -48,33 +48,48 @@ const std::vector<cd>& stage_twiddles(size_t len, bool inverse) {
 
 void fft_inplace(std::vector<cd>& a, bool inverse) {
   const size_t n = a.size();
+  fft_bit_reverse(a);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    fft_stage_blocks(a, len, inverse, 0, n / len);
+  }
+}
+
+}  // namespace
+
+void fft_bit_reverse(std::vector<cd>& a) {
+  const size_t n = a.size();
   PP_CHECK((n & (n - 1)) == 0 && n > 0, "fft size must be a power of two");
-  // Bit-reversal permutation.
   for (size_t i = 1, j = 0; i < n; ++i) {
     size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const std::vector<cd>& tw = stage_twiddles(len, inverse);
-    for (size_t i = 0; i < n; i += len) {
-      for (size_t j = 0; j < len / 2; ++j) {
-        const cd u = a[i + j];
-        const cd v = a[i + j + len / 2] * tw[j];
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-      }
+}
+
+void fft_stage_blocks(std::vector<cd>& a, size_t len, bool inverse,
+                      size_t block_begin, size_t block_end) {
+  const std::vector<cd>& tw = stage_twiddles(len, inverse);
+  for (size_t blk = block_begin; blk < block_end; ++blk) {
+    const size_t i = blk * len;
+    for (size_t j = 0; j < len / 2; ++j) {
+      const cd u = a[i + j];
+      const cd v = a[i + j + len / 2] * tw[j];
+      a[i + j] = u + v;
+      a[i + j + len / 2] = u - v;
     }
   }
 }
 
-}  // namespace
+void fft_scale(std::vector<cd>& a, size_t begin, size_t end) {
+  const double n = static_cast<double>(a.size());
+  for (size_t i = begin; i < end; ++i) a[i] /= n;
+}
 
 std::vector<cd> fft(const std::vector<cd>& x) {
   std::vector<cd> a = x;
   fft_inplace(a, false);
-  for (auto& v : a) v /= static_cast<double>(a.size());
+  fft_scale(a, 0, a.size());
   return a;
 }
 
@@ -84,11 +99,14 @@ std::vector<cd> ifft(const std::vector<cd>& x) {
   return a;
 }
 
-std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
-                       size_t m, size_t k, size_t p) {
-  PP_CHECK(a.size() == m * k && b.size() == k * p, "matmul shape mismatch");
-  std::vector<cd> c(m * p, cd{0.0, 0.0});
-  for (size_t i = 0; i < m; ++i) {
+void matmul_rows(const std::vector<cd>& a, const std::vector<cd>& b,
+                 std::vector<cd>& c, size_t m, size_t k, size_t p,
+                 size_t row_begin, size_t row_end) {
+  PP_CHECK(a.size() == m * k && b.size() == k * p && c.size() == m * p,
+           "matmul shape mismatch");
+  PP_CHECK(row_begin <= row_end && row_end <= m, "matmul row tile out of range");
+  for (size_t i = row_begin; i < row_end; ++i) {
+    for (size_t j = 0; j < p; ++j) c[i * p + j] = cd{0.0, 0.0};
     for (size_t kk = 0; kk < k; ++kk) {
       const cd av = a[i * k + kk];
       for (size_t j = 0; j < p; ++j) {
@@ -96,12 +114,20 @@ std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
       }
     }
   }
+}
+
+std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
+                       size_t m, size_t k, size_t p) {
+  std::vector<cd> c(m * p);
+  matmul_rows(a, b, c, m, k, p, 0, m);
   return c;
 }
 
-std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k) {
-  std::vector<cd> g(k * k, cd{0.0, 0.0});
-  for (size_t i = 0; i < k; ++i) {
+void gram_rows(const std::vector<cd>& a, std::vector<cd>& g, size_t m,
+               size_t k, size_t row_begin, size_t row_end) {
+  PP_CHECK(a.size() == m * k && g.size() == k * k, "gram shape mismatch");
+  PP_CHECK(row_begin <= row_end && row_end <= k, "gram row tile out of range");
+  for (size_t i = row_begin; i < row_end; ++i) {
     for (size_t j = 0; j < k; ++j) {
       cd acc{0.0, 0.0};
       for (size_t r = 0; r < m; ++r) {
@@ -110,6 +136,11 @@ std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k) {
       g[i * k + j] = acc;
     }
   }
+}
+
+std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k) {
+  std::vector<cd> g(k * k);
+  gram_rows(a, g, m, k, 0, k);
   return g;
 }
 

@@ -1,0 +1,164 @@
+// Host worker pool for intra-slot kernel parallelism.
+//
+// The paper's execution model is N cores running the same kernel on static
+// tiles of the problem, synchronizing at counting barriers (sim::Barrier is
+// the simulated version, §IV).  Thread_pool is the host mirror of that
+// model: a fixed set of OS threads dispatched SPMD-style - every worker
+// runs the same job with its worker id - plus Counting_barrier, the host
+// analogue of the L1 counter + wake-up trigger.  Two properties make it
+// usable for bit-reproducible numerics (runtime::Parallel_backend):
+//
+//   static partition   slice() is a pure function of (n, worker, workers),
+//                      so which elements a worker owns never depends on
+//                      scheduling
+//   caller participates  worker 0 is the calling thread; a 1-worker pool
+//                      spawns no threads and run() degenerates to a plain
+//                      call, so the serial path is literally the same code
+//
+// Workers persist across run() calls (no per-launch thread spawn); the pool
+// is not reentrant (run() must not be called from inside a job).
+#ifndef PUSCHPOOL_COMMON_THREAD_POOL_H
+#define PUSCHPOOL_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pp::common {
+
+// Reusable arrive-and-wait barrier for a fixed set of participants: the
+// host analogue of sim::Barrier's counter + broadcast wake-up.  The last
+// arrival of a generation releases everyone; the mutex hand-off gives the
+// happens-before edge that makes tile writes before the barrier visible to
+// reads after it.
+class Counting_barrier {
+ public:
+  explicit Counting_barrier(uint32_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    if (parties_ <= 1) return;
+    std::unique_lock<std::mutex> lock(m_);
+    const uint64_t gen = generation_;
+    if (++count_ == parties_) {
+      count_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+ private:
+  const uint32_t parties_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  uint32_t count_ = 0;
+  uint64_t generation_ = 0;
+};
+
+class Thread_pool {
+ public:
+  // 0 = one worker per hardware thread (min 1).
+  explicit Thread_pool(uint32_t workers = 0) {
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    workers_ = workers;
+    threads_.reserve(workers - 1);
+    for (uint32_t w = 1; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Thread_pool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  Thread_pool(const Thread_pool&) = delete;
+  Thread_pool& operator=(const Thread_pool&) = delete;
+
+  uint32_t workers() const { return workers_; }
+
+  // Runs job(worker_id) on every worker (ids 0..workers()-1, id 0 on the
+  // calling thread) and returns once all have finished.
+  void run(const std::function<void(uint32_t)>& job) {
+    if (workers_ == 1) {
+      job(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      job_ = &job;
+      done_ = 0;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    job(0);
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return done_ == threads_.size(); });
+    job_ = nullptr;
+  }
+
+  // Contiguous slice [first, last) of [0, n) owned by `worker` out of
+  // `workers`: sizes differ by at most one, assignment is a pure function
+  // of the arguments (the determinism contract of Parallel_backend).
+  static std::pair<uint64_t, uint64_t> slice(uint64_t n, uint32_t worker,
+                                             uint32_t workers) {
+    const uint64_t base = n / workers;
+    const uint64_t rem = n % workers;
+    const uint64_t first =
+        worker * base + std::min<uint64_t>(worker, rem);
+    return {first, first + base + (worker < rem ? 1 : 0)};
+  }
+
+  // Statically-partitioned parallel loop: fn(i) for every i in [0, n),
+  // worker w covering its slice() in index order.
+  void parallel_for(uint64_t n, const std::function<void(uint64_t)>& fn) {
+    run([&](uint32_t w) {
+      const auto [first, last] = slice(n, w, workers_);
+      for (uint64_t i = first; i < last; ++i) fn(i);
+    });
+  }
+
+ private:
+  void worker_loop(uint32_t id) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(uint32_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        job = job_;
+      }
+      (*job)(id);
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  uint32_t workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* job_ = nullptr;
+  uint64_t epoch_ = 0;
+  uint32_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_THREAD_POOL_H

@@ -106,12 +106,116 @@ std::vector<cd> Uplink_scenario::pilot_obs_beam(uint32_t l) const {
   return pilot_obs_[l];
 }
 
+void gather_subcarrier_rows(const std::vector<std::vector<cd>>& freq,
+                            std::vector<cd>& ft, uint32_t n_rx,
+                            size_t row_begin, size_t row_end) {
+  for (size_t scx = row_begin; scx < row_end; ++scx) {
+    for (uint32_t r = 0; r < n_rx; ++r) {
+      ft[scx * n_rx + r] = freq[r][scx];
+    }
+  }
+}
+
+void che_rows(const Uplink_scenario& sc,
+              const std::vector<std::vector<cd>>& obs, std::vector<cd>& h_hat,
+              uint64_t row_begin, uint64_t row_end) {
+  const auto& cfg = sc.config();
+  for (uint64_t i = row_begin; i < row_end; ++i) {
+    const uint32_t l = static_cast<uint32_t>(i / cfg.n_sc);
+    const uint32_t scx = static_cast<uint32_t>(i % cfg.n_sc);
+    const cd p = sc.pilot(l)[scx];
+    for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+      h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] =
+          obs[l][static_cast<size_t>(scx) * cfg.n_beams + b] * std::conj(p) /
+          std::norm(p);
+    }
+  }
+}
+
+void ne_terms(const Uplink_scenario& sc,
+              const std::vector<std::vector<cd>>& beams,
+              const std::vector<cd>& h_hat, std::vector<double>& terms,
+              uint64_t item_begin, uint64_t item_end) {
+  const auto& cfg = sc.config();
+  for (uint64_t i = item_begin; i < item_end; ++i) {
+    const uint32_t s = static_cast<uint32_t>(i / cfg.n_sc);
+    const uint32_t scx = static_cast<uint32_t>(i % cfg.n_sc);
+    for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+      cd yhat{0, 0};
+      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+        yhat +=
+            h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] *
+            sc.pilot(l)[scx];
+      }
+      terms[i * cfg.n_beams + b] = std::norm(
+          beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] - yhat);
+    }
+  }
+}
+
+void mimo_items(const Uplink_scenario& sc,
+                const std::vector<std::vector<cd>>& beams,
+                const std::vector<cd>& h_hat, double sigma2_hat,
+                std::vector<std::vector<cd>>& symbols,
+                std::vector<double>& evm_terms, uint64_t item_begin,
+                uint64_t item_end) {
+  const auto& cfg = sc.config();
+  std::vector<ref::cd> h(static_cast<size_t>(cfg.n_beams) * cfg.n_ue);
+  std::vector<ref::cd> y(cfg.n_beams);
+  for (uint64_t i = item_begin; i < item_end; ++i) {
+    const uint32_t s = cfg.n_pilot_symb + static_cast<uint32_t>(i / cfg.n_sc);
+    const uint32_t scx = static_cast<uint32_t>(i % cfg.n_sc);
+    for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+        h[static_cast<size_t>(b) * cfg.n_ue + l] =
+            h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l];
+      }
+    }
+    for (uint32_t b = 0; b < cfg.n_beams; ++b) {
+      y[b] = beams[s][static_cast<size_t>(scx) * cfg.n_beams + b];
+    }
+    const auto x = ref::lmmse(h, y, cfg.n_beams, cfg.n_ue, sigma2_hat);
+    for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+      const cd eq = x[l] / cfg.ue_power;  // undo tx power scaling
+      symbols[l][i] = eq;
+      const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
+      evm_terms[i * cfg.n_ue + l] = std::norm(eq - want);
+    }
+  }
+}
+
+double mean_of_terms(const std::vector<double>& terms) {
+  double acc = 0.0;
+  for (const double t : terms) acc += t;
+  return acc / static_cast<double>(terms.size());
+}
+
+double evm_from_terms(const std::vector<double>& evm_terms) {
+  return std::sqrt(mean_of_terms(evm_terms));
+}
+
+double payload_ber(const Uplink_scenario& sc,
+                   const std::vector<std::vector<uint8_t>>& bits) {
+  uint64_t nerr = 0, nbits = 0;
+  for (uint32_t l = 0; l < sc.config().n_ue; ++l) {
+    const auto& want = sc.tx_bits(l);
+    PP_CHECK(want.size() == bits[l].size(), "bit count mismatch");
+    for (size_t i = 0; i < want.size(); ++i) {
+      nerr += want[i] != bits[l][i];
+      ++nbits;
+    }
+  }
+  return static_cast<double>(nerr) / static_cast<double>(nbits);
+}
+
 Receiver_result golden_receive(const Uplink_scenario& sc) {
   const auto& cfg = sc.config();
   const double fft_comp = std::sqrt(static_cast<double>(cfg.fft_size));
+  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
 
   // 1) OFDM demodulation + 2) beamforming, per symbol: beam grid [sc][b].
   std::vector<std::vector<cd>> beams(cfg.n_symb);
+  std::vector<cd> ft(static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
   for (uint32_t s = 0; s < cfg.n_symb; ++s) {
     std::vector<std::vector<cd>> freq(cfg.n_rx);
     for (uint32_t r = 0; r < cfg.n_rx; ++r) {
@@ -121,98 +225,46 @@ Receiver_result golden_receive(const Uplink_scenario& sc) {
       for (auto& v : freq[r]) v *= fft_comp;
     }
     beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
-    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
-      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-        cd acc{0, 0};
-        for (uint32_t r = 0; r < cfg.n_rx; ++r) {
-          acc += freq[r][scx] * sc.codebook()[static_cast<size_t>(r) * cfg.n_beams + b];
-        }
-        beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] = acc;
-      }
-    }
+    gather_subcarrier_rows(freq, ft, cfg.n_rx, 0, cfg.n_sc);
+    ref::matmul_rows(ft, sc.codebook(), beams[s], cfg.n_sc, cfg.n_rx,
+                     cfg.n_beams, 0, cfg.n_sc);
   }
 
   // 3) Channel estimation (block LS on code-separated pilot observations).
+  std::vector<std::vector<cd>> obs(cfg.n_ue);
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) obs[l] = sc.pilot_obs_beam(l);
   std::vector<cd> h_hat(static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue);
-  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-    const auto obs = sc.pilot_obs_beam(l);
-    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
-      const cd p = sc.pilot(l)[scx];
-      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-        h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] =
-            obs[static_cast<size_t>(scx) * cfg.n_beams + b] * std::conj(p) /
-            std::norm(p);
-      }
-    }
-  }
+  che_rows(sc, obs, h_hat, 0, static_cast<uint64_t>(cfg.n_ue) * cfg.n_sc);
   const auto h_true = sc.beam_channel();
   double ch_err = 0.0;
   for (size_t i = 0; i < h_hat.size(); ++i) ch_err += std::norm(h_hat[i] - h_true[i]);
   const double channel_mse = ch_err / static_cast<double>(h_hat.size());
 
-  // 4) Noise estimation from the pilot symbols.
-  double sig_acc = 0.0;
-  uint64_t sig_cnt = 0;
-  for (uint32_t s = 0; s < cfg.n_pilot_symb; ++s) {
-    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
-      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-        cd yhat{0, 0};
-        for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-          yhat += h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] *
-                  sc.pilot(l)[scx];
-        }
-        sig_acc += std::norm(beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] - yhat);
-        ++sig_cnt;
-      }
-    }
-  }
-  const double sigma2_hat = sig_acc / static_cast<double>(sig_cnt);
+  // 4) Noise estimation from the pilot symbols (terms summed in index
+  // order, which is the (symbol, sub-carrier, beam) walk).
+  std::vector<double> sig_terms(static_cast<uint64_t>(cfg.n_pilot_symb) *
+                                cfg.n_sc * cfg.n_beams);
+  ne_terms(sc, beams, h_hat, sig_terms,
+           0, static_cast<uint64_t>(cfg.n_pilot_symb) * cfg.n_sc);
+  const double sigma2_hat = mean_of_terms(sig_terms);
 
-  // 5) MIMO LMMSE per sub-carrier and data symbol (Cholesky + solves).
+  // 5) MIMO LMMSE per sub-carrier and data symbol (Cholesky + solves); EVM
+  // terms summed in index order = the (symbol, sub-carrier, UE) walk.
   Receiver_result res;
-  res.symbols.resize(cfg.n_ue);
+  const uint64_t n_items = static_cast<uint64_t>(n_data) * cfg.n_sc;
+  res.symbols.assign(cfg.n_ue, std::vector<cd>(n_items));
   res.bits.resize(cfg.n_ue);
-  double evm_acc = 0.0;
-  uint64_t evm_cnt = 0;
-  for (uint32_t s = cfg.n_pilot_symb; s < cfg.n_symb; ++s) {
-    for (uint32_t scx = 0; scx < cfg.n_sc; ++scx) {
-      std::vector<ref::cd> h(static_cast<size_t>(cfg.n_beams) * cfg.n_ue);
-      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-        for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-          h[static_cast<size_t>(b) * cfg.n_ue + l] =
-              h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l];
-        }
-      }
-      std::vector<ref::cd> y(cfg.n_beams);
-      for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-        y[b] = beams[s][static_cast<size_t>(scx) * cfg.n_beams + b];
-      }
-      const auto x = ref::lmmse(h, y, cfg.n_beams, cfg.n_ue, sigma2_hat);
-      for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-        const cd eq = x[l] / cfg.ue_power;  // undo tx power scaling
-        res.symbols[l].push_back(eq);
-        const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
-        evm_acc += std::norm(eq - want);
-        ++evm_cnt;
-      }
-    }
-  }
-  res.evm = std::sqrt(evm_acc / static_cast<double>(evm_cnt));
+  std::vector<double> evm_terms(n_items * cfg.n_ue);
+  mimo_items(sc, beams, h_hat, sigma2_hat, res.symbols, evm_terms, 0, n_items);
+  res.evm = evm_from_terms(evm_terms);
 
-  // 6) Demodulate and count bit errors.
-  uint64_t nerr = 0, nbits = 0;
+  // 6) Demodulate and count bit errors.  tx bits are ordered
+  // [data_symbol][sc]; symbols are indexed in the same order, so the direct
+  // compare inside payload_ber is valid.
   for (uint32_t l = 0; l < cfg.n_ue; ++l) {
     res.bits[l] = qam_demodulate(cfg.qam, res.symbols[l]);
-    // tx bits are ordered [data_symbol][sc]; symbols were pushed in the same
-    // order, so a direct compare is valid.
-    const auto& want = sc.tx_bits(l);
-    PP_CHECK(want.size() == res.bits[l].size(), "bit count mismatch");
-    for (size_t i = 0; i < want.size(); ++i) {
-      nerr += want[i] != res.bits[l][i];
-      ++nbits;
-    }
   }
-  res.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  res.ber = payload_ber(sc, res.bits);
   res.channel_mse = channel_mse;
   res.sigma2_hat = sigma2_hat;
   return res;

@@ -90,6 +90,61 @@ struct Receiver_result {
 // Full double-precision lower-PHY receive chain.
 Receiver_result golden_receive(const Uplink_scenario& sc);
 
+// ---- golden-receiver tiled sub-steps --------------------------------------
+//
+// golden_receive() is built from these range-parameterized pieces: the
+// full-range call is the serial receiver, and runtime::Parallel_backend
+// runs the same functions on worker tiles, so the two paths share one
+// implementation and cannot drift (the same contract as the ref:: tiled
+// sub-kernels - disjoint output ranges, arithmetic independent of the
+// partition).  Callers pre-size every output; reductions over the filled
+// term arrays must walk them in index order to stay bit-identical to the
+// serial receiver.
+
+// Transpose gather feeding the beamforming MMM: rows [row_begin, row_end)
+// of the (n_sc x n_rx) matrix ft, ft[scx*n_rx + r] = freq[r][scx].  Pair
+// with ref::matmul_rows(ft, codebook, beams, ...) over the same rows.
+void gather_subcarrier_rows(const std::vector<std::vector<cd>>& freq,
+                            std::vector<cd>& ft, uint32_t n_rx,
+                            size_t row_begin, size_t row_end);
+
+// Channel estimation: block-LS rows (flattened (UE, sub-carrier) pairs,
+// l = row / n_sc) in [row_begin, row_end) of
+// h_hat[(scx*n_beams + b)*n_ue + l]; obs[l] = sc.pilot_obs_beam(l).
+void che_rows(const Uplink_scenario& sc,
+              const std::vector<std::vector<cd>>& obs, std::vector<cd>& h_hat,
+              uint64_t row_begin, uint64_t row_end);
+
+// Noise estimation: pilot-cell residual terms for flattened (pilot symbol,
+// sub-carrier) items in [item_begin, item_end):
+// terms[item*n_beams + b] = |beams[s][scx,b] - sum_l h_hat*pilot_l|^2.
+// The noise estimate is the mean of `terms` summed in index order.
+void ne_terms(const Uplink_scenario& sc,
+              const std::vector<std::vector<cd>>& beams,
+              const std::vector<cd>& h_hat, std::vector<double>& terms,
+              uint64_t item_begin, uint64_t item_end);
+
+// LMMSE MIMO: per-UE-batch Gram + Cholesky + substitutions (ref::lmmse)
+// for flattened (data symbol, sub-carrier) items in [item_begin, item_end);
+// writes equalized symbols[l][item] and evm_terms[item*n_ue + l].  The EVM
+// is sqrt(mean) of `evm_terms` summed in index order.
+void mimo_items(const Uplink_scenario& sc,
+                const std::vector<std::vector<cd>>& beams,
+                const std::vector<cd>& h_hat, double sigma2_hat,
+                std::vector<std::vector<cd>>& symbols,
+                std::vector<double>& evm_terms, uint64_t item_begin,
+                uint64_t item_end);
+
+// The serial reductions over the filled term arrays, shared by both paths
+// so the epilogues cannot drift either: index-order mean (the noise
+// estimate over ne_terms output), EVM = sqrt of that mean (over mimo_items
+// output), and the bit-error rate of recovered payloads vs. the
+// transmitted bits (bits[l] must match tx_bits(l) in size).
+double mean_of_terms(const std::vector<double>& terms);
+double evm_from_terms(const std::vector<double>& evm_terms);
+double payload_ber(const Uplink_scenario& sc,
+                   const std::vector<std::vector<uint8_t>>& bits);
+
 // EVM/BER helpers shared with the simulated chain.
 double evm_rms(const std::vector<cd>& want, const std::vector<cd>& got);
 double bit_error_rate(const std::vector<uint8_t>& want,

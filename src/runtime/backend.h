@@ -1,7 +1,7 @@
 // Pluggable execution backends for functional pipeline runs.
 //
 // A Backend takes a Pipeline description plus an uplink scenario and
-// produces a Slot_result.  Two implementations exist:
+// produces a Slot_result.  Three implementations exist:
 //
 //   Sim_backend        the cycle-approximate fixed-point kernels on the
 //                      simulated many-core cluster (pipeline.cluster());
@@ -9,9 +9,14 @@
 //   Reference_backend  the double-precision host models (baseline/): no
 //                      cycles, runs in milliseconds - the golden functional
 //                      cross-check and the fast path for scenario sweeps
+//   Parallel_backend   the same host models split across a worker pool with
+//                      the paper's per-kernel decomposition; bit-identical
+//                      to Reference_backend at any worker count
+//                      (backend_parallel.h)
 //
-// Both emit the same Slot_result, so a single scenario can be scored on the
-// simulator and on the reference through the same Pipeline::execute() call.
+// All emit the same Slot_result, so a single scenario can be scored on the
+// simulator and on either host path through the same Pipeline::execute()
+// call.
 #ifndef PUSCHPOOL_RUNTIME_BACKEND_H
 #define PUSCHPOOL_RUNTIME_BACKEND_H
 
@@ -47,8 +52,18 @@ class Reference_backend final : public Backend {
                        const phy::Uplink_scenario& sc) override;
 };
 
-// "sim" or "reference"; aborts on anything else.
-std::unique_ptr<Backend> make_backend(std::string_view name);
+// Fills `out.stages` with the per-stage launch counts the sim backend would
+// perform for this pipeline and scenario (FFT gang batching and Cholesky
+// symbol batching included).  Shared by the host backends so all three
+// backends' stage tables line up row by row.
+void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
+                           Slot_result& out);
+
+// "sim", "reference" or "parallel"; aborts on anything else.  `intra` is
+// the intra-slot worker count of the "parallel" backend (0 = one worker per
+// hardware thread) and is ignored by the other two.
+std::unique_ptr<Backend> make_backend(std::string_view name,
+                                      uint32_t intra = 0);
 
 }  // namespace pp::runtime
 

@@ -1,0 +1,195 @@
+// Functional slot execution on the double-precision host models, split
+// across a worker pool with the paper's per-kernel core mapping (§IV).
+//
+// This file runs phy::golden_receive()'s stage sequence through the same
+// range-parameterized sub-steps the serial receiver is built from
+// (phy::che_rows / ne_terms / mimo_items and the ref:: tiled sub-kernels),
+// so the two paths share one implementation of every stage's arithmetic.
+// Every parallel region follows the same recipe: workers own
+// statically-sliced disjoint output tiles (common::Thread_pool::slice), a
+// tile's arithmetic is independent of the partition, and floating-point
+// reductions are never accumulated concurrently - per-element terms are
+// stored and summed serially in slot order afterwards.  The result is
+// therefore bit-identical to Reference_backend at any worker count;
+// tests/test_backend_parallel.cpp pins that over a scenario grid.
+#include <cmath>
+
+#include "baseline/reference.h"
+#include "common/thread_pool.h"
+#include "phy/qam.h"
+#include "runtime/backend_parallel.h"
+
+namespace pp::runtime {
+
+namespace {
+
+using phy::cd;
+using common::Thread_pool;
+
+// OFDM FFT of one symbol: the symbol's n_rx antenna transforms, each
+// reproducing ref::fft() + the sqrt(N) compensation of the 1/sqrt(N)
+// transmit normalization exactly (scale by 1/N, then by sqrt(N), as two
+// operations).  `freq` is reused across symbols, so the backend holds one
+// symbol's spectra at a time - the serial receiver's footprint.
+void run_fft_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
+                    uint32_t s, std::vector<std::vector<cd>>& freq) {
+  const auto& cfg = sc.config();
+  const double fft_comp = std::sqrt(static_cast<double>(cfg.fft_size));
+  const size_t nfft = cfg.fft_size;
+  const uint32_t workers = pool.workers();
+
+  if (cfg.n_rx >= workers) {
+    // Per-antenna fan-out: each worker owns whole transforms, running the
+    // exact serial-receiver sequence (ref::fft, then the compensation
+    // multiply).
+    pool.run([&](uint32_t w) {
+      const auto [first, last] = Thread_pool::slice(cfg.n_rx, w, workers);
+      for (uint64_t r = first; r < last; ++r) {
+        std::vector<cd>& a = freq[r];
+        a = ref::fft(sc.antenna_time(s, static_cast<uint32_t>(r)));
+        for (auto& v : a) v *= fft_comp;
+      }
+    });
+    return;
+  }
+
+  // Fewer antennas than workers (few large FFTs): compute each transform
+  // cooperatively - butterfly blocks of one stage tiled across all workers,
+  // a barrier between stages (the paper's FFT mapping).
+  common::Counting_barrier barrier(workers);
+  for (uint32_t r = 0; r < cfg.n_rx; ++r) {
+    std::vector<cd>& a = freq[r];
+    a = sc.antenna_time(s, r);
+    ref::fft_bit_reverse(a);
+    pool.run([&](uint32_t w) {
+      for (size_t len = 2; len <= nfft; len <<= 1) {
+        const auto [first, last] = Thread_pool::slice(nfft / len, w, workers);
+        ref::fft_stage_blocks(a, len, false, first, last);
+        barrier.arrive_and_wait();
+      }
+      const auto [first, last] = Thread_pool::slice(nfft, w, workers);
+      ref::fft_scale(a, first, last);
+      for (size_t j = first; j < last; ++j) a[j] *= fft_comp;
+    });
+  }
+}
+
+// Beamforming of one symbol: the matched-filter MMM beams = F^T * B,
+// row-block tiled over sub-carriers.  The transpose gather is pure data
+// movement; the arithmetic lives in ref::matmul_rows, whose per-row
+// accumulation order matches the serial receiver's antenna loop.  `ft` is
+// a shared scratch reused across symbols: within a dispatch each worker
+// reads only the rows it wrote itself, and run() joins before the next
+// symbol reuses the buffer.
+void run_beamform_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
+                         const std::vector<std::vector<cd>>& freq,
+                         std::vector<cd>& ft, std::vector<cd>& beams_s) {
+  const auto& cfg = sc.config();
+  const uint32_t workers = pool.workers();
+  pool.run([&](uint32_t w) {
+    const auto [first, last] = Thread_pool::slice(cfg.n_sc, w, workers);
+    phy::gather_subcarrier_rows(freq, ft, cfg.n_rx, first, last);
+    ref::matmul_rows(ft, sc.codebook(), beams_s, cfg.n_sc, cfg.n_rx,
+                     cfg.n_beams, first, last);
+  });
+}
+
+// Channel-estimation stage: per-(UE, sub-carrier) row tiles of
+// phy::che_rows.
+void run_che_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
+                   std::vector<cd>& h_hat) {
+  const auto& cfg = sc.config();
+  h_hat.assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue,
+               cd{0, 0});
+  std::vector<std::vector<cd>> obs(cfg.n_ue);
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) obs[l] = sc.pilot_obs_beam(l);
+
+  const uint64_t n_rows = static_cast<uint64_t>(cfg.n_ue) * cfg.n_sc;
+  pool.run([&](uint32_t w) {
+    const auto [first, last] = Thread_pool::slice(n_rows, w, pool.workers());
+    phy::che_rows(sc, obs, h_hat, first, last);
+  });
+}
+
+// Noise-estimation stage: per-cell pilot residuals (phy::ne_terms) computed
+// in parallel, summed serially in (symbol, sub-carrier, beam) order so the
+// estimate is bit-identical to the serial accumulation.
+double run_ne_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
+                    const std::vector<std::vector<cd>>& beams,
+                    const std::vector<cd>& h_hat) {
+  const auto& cfg = sc.config();
+  const uint64_t n_items = static_cast<uint64_t>(cfg.n_pilot_symb) * cfg.n_sc;
+  std::vector<double> terms(n_items * cfg.n_beams);
+  pool.run([&](uint32_t w) {
+    const auto [first, last] = Thread_pool::slice(n_items, w, pool.workers());
+    phy::ne_terms(sc, beams, h_hat, terms, first, last);
+  });
+  return phy::mean_of_terms(terms);
+}
+
+// MIMO stage: per-UE-batch LMMSE - each (data symbol, sub-carrier) item is
+// one Gram + Cholesky + forward/backward substitution problem
+// (phy::mimo_items -> ref::lmmse), items statically sliced across workers.
+// Equalized symbols land at their slot index; the EVM reduction happens
+// serially afterwards.
+void run_mimo_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
+                    const std::vector<std::vector<cd>>& beams,
+                    const std::vector<cd>& h_hat, double sigma2_hat,
+                    std::vector<std::vector<cd>>& symbols,
+                    std::vector<double>& evm_terms) {
+  const auto& cfg = sc.config();
+  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
+  const uint64_t n_items = static_cast<uint64_t>(n_data) * cfg.n_sc;
+
+  symbols.assign(cfg.n_ue, std::vector<cd>(n_items));
+  evm_terms.assign(n_items * cfg.n_ue, 0.0);
+
+  pool.run([&](uint32_t w) {
+    const auto [first, last] = Thread_pool::slice(n_items, w, pool.workers());
+    phy::mimo_items(sc, beams, h_hat, sigma2_hat, symbols, evm_terms, first,
+                    last);
+  });
+}
+
+}  // namespace
+
+Slot_result Parallel_backend::run_slot(const Pipeline& p,
+                                       const phy::Uplink_scenario& sc) {
+  const auto& cfg = sc.config();
+
+  // 1) OFDM demodulation + 2) beamforming, fused per symbol (the serial
+  // receiver's memory footprint: one symbol's spectra live at a time).
+  std::vector<std::vector<cd>> beams(cfg.n_symb);  // [symb][sc * beam]
+  std::vector<std::vector<cd>> freq(cfg.n_rx);     // reused per symbol
+  std::vector<cd> ft(static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
+  for (uint32_t s = 0; s < cfg.n_symb; ++s) {
+    run_fft_symbol(pool_, sc, s, freq);
+    beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
+    run_beamform_symbol(pool_, sc, freq, ft, beams[s]);
+  }
+
+  // 3) Channel estimation + 4) noise estimation.
+  std::vector<cd> h_hat;
+  run_che_stage(pool_, sc, h_hat);
+  const double sigma2_hat = run_ne_stage(pool_, sc, beams, h_hat);
+
+  // 5) MIMO LMMSE + EVM against the transmitted constellation.
+  std::vector<std::vector<cd>> symbols;
+  std::vector<double> evm_terms;
+  run_mimo_stage(pool_, sc, beams, h_hat, sigma2_hat, symbols, evm_terms);
+
+  // 6) Demodulation (parallel per UE) + the shared serial epilogue.
+  Slot_result out;
+  out.backend = "parallel";
+  out.bits.resize(cfg.n_ue);
+  pool_.parallel_for(cfg.n_ue, [&](uint64_t l) {
+    out.bits[l] = phy::qam_demodulate(cfg.qam, symbols[l]);
+  });
+  out.evm = phy::evm_from_terms(evm_terms);
+  out.ber = phy::payload_ber(sc, out.bits);
+  out.sigma2_hat = sigma2_hat;
+  mirror_sim_stage_runs(p, cfg, out);
+  return out;
+}
+
+}  // namespace pp::runtime

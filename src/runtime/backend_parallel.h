@@ -1,0 +1,52 @@
+// Intra-slot parallel host backend (the paper's core mapping on the host).
+//
+// Parallel_backend runs the same double-precision receive chain as
+// Reference_backend, but splits every kernel across a persistent
+// common::Thread_pool the way §IV maps it onto cores:
+//
+//   OFDM FFT     per-symbol fan-out over the antenna transforms; when there
+//                are fewer antennas than workers, each FFT is instead
+//                computed cooperatively - butterfly blocks of one stage
+//                tiled across all workers with a Counting_barrier between
+//                stages (ref::fft_stage_blocks)
+//   beamforming  the matched-filter MMM, row-block tiled over sub-carriers
+//                (ref::matmul_rows)
+//   CHE / NE     per-(UE, sub-carrier) row tiles / per-element residuals
+//   LMMSE MIMO   per-UE-batch Gram + Cholesky + forward/backward
+//                substitution, batches of (symbol, sub-carrier) problems
+//                statically sliced across workers (ref::lmmse)
+//
+// Determinism contract (pinned by tests/test_backend_parallel.cpp and
+// documented in docs/DETERMINISM.md): the result is bit-identical to
+// Reference_backend for any worker count.  Workers own statically-sliced
+// disjoint output tiles whose arithmetic matches the serial loop exactly,
+// and every floating-point reduction (EVM, noise estimate) is accumulated
+// serially in slot order after the parallel region.
+#ifndef PUSCHPOOL_RUNTIME_BACKEND_PARALLEL_H
+#define PUSCHPOOL_RUNTIME_BACKEND_PARALLEL_H
+
+#include "common/thread_pool.h"
+#include "runtime/backend.h"
+
+namespace pp::runtime {
+
+class Parallel_backend final : public Backend {
+ public:
+  // 0 = one worker per hardware thread.  The pool persists across
+  // run_slot() calls, so per-slot dispatch cost stays at one wake-up.
+  explicit Parallel_backend(uint32_t workers = 0) : pool_(workers) {}
+
+  std::string_view name() const override { return "parallel"; }
+  bool cycle_accurate() const override { return false; }
+  uint32_t workers() const { return pool_.workers(); }
+
+  Slot_result run_slot(const Pipeline& p,
+                       const phy::Uplink_scenario& sc) override;
+
+ private:
+  common::Thread_pool pool_;
+};
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_BACKEND_PARALLEL_H

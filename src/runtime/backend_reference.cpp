@@ -8,7 +8,9 @@
 // Cholesky symbol batching included), so the two results line up stage by
 // stage.  This is the golden functional cross-check and the fast path for
 // scenario sweeps: a slot that takes minutes on the simulator scores in
-// milliseconds here.
+// milliseconds here.  mirror_sim_stage_runs() is shared with the
+// intra-slot-parallel host backend (backend_parallel.cpp), which must stay
+// bit-identical to this one.
 #include <cmath>
 
 #include "baseline/reference.h"
@@ -17,21 +19,9 @@
 
 namespace pp::runtime {
 
-Slot_result Reference_backend::run_slot(const Pipeline& p,
-                                        const phy::Uplink_scenario& sc) {
-  const auto& cfg = sc.config();
+void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
+                           Slot_result& out) {
   const uint32_t n_data_symb = cfg.n_symb - cfg.n_pilot_symb;
-
-  const auto golden = phy::golden_receive(sc);
-
-  Slot_result out;
-  out.backend = "reference";
-  out.bits = golden.bits;
-  out.evm = golden.evm;
-  out.ber = golden.ber;
-  out.sigma2_hat = golden.sigma2_hat;
-
-  // Mirror the sim backend's launch counts so the two results line up.
   out.stages.resize(p.stages().size());
   for (size_t i = 0; i < p.stages().size(); ++i) {
     const auto& spec = p.stages()[i];
@@ -68,6 +58,19 @@ Slot_result Reference_backend::run_slot(const Pipeline& p,
         break;
     }
   }
+}
+
+Slot_result Reference_backend::run_slot(const Pipeline& p,
+                                        const phy::Uplink_scenario& sc) {
+  const auto golden = phy::golden_receive(sc);
+
+  Slot_result out;
+  out.backend = "reference";
+  out.bits = golden.bits;
+  out.evm = golden.evm;
+  out.ber = golden.ber;
+  out.sigma2_hat = golden.sigma2_hat;
+  mirror_sim_stage_runs(p, sc.config(), out);
   return out;
 }
 

@@ -3,15 +3,17 @@
 // Every simulated kernel - whatever its concrete class - is driven through
 // the same four steps:
 //
-//   make_kernel(...)            instantiate from the registry by name
-//   bind(port, slot, data)      stage quantized inputs into L1
-//   launch()                    run to completion -> sim::Kernel_report
-//   fetch(port, slot)           read outputs back out of L1
+//   make_kernel(...)        instantiate from the registry by name
+//   bind(port, slot, data)  stage quantized inputs into L1
+//   launch()                run to completion -> sim::Kernel_report
+//   fetch(port, slot)       read outputs back out of L1
 //
 // Ports are named; multi-instance kernels (an FFT gang's reps, a Cholesky
 // batch's matrices) expose one slot per instance.  Adapters over the
 // concrete kernel classes live in adapters.cpp and are reached through the
 // registry (registry.h), so callers never name a kernel class directly.
+// Whole-slot execution composes kernels through Pipeline (pipeline.h) on a
+// pluggable Backend (backend.h).
 #ifndef PUSCHPOOL_RUNTIME_KERNEL_H
 #define PUSCHPOOL_RUNTIME_KERNEL_H
 

@@ -1,6 +1,7 @@
 #include "runtime/pipeline.h"
 
 #include "runtime/backend.h"
+#include "runtime/backend_parallel.h"
 #include "runtime/registry.h"
 
 namespace pp::runtime {
@@ -57,10 +58,12 @@ uint32_t resolve_fft_gangs(const arch::Cluster_config& cluster,
   return std::max(1u, std::min(max_inst, inst));
 }
 
-std::unique_ptr<Backend> make_backend(std::string_view name) {
+std::unique_ptr<Backend> make_backend(std::string_view name, uint32_t intra) {
   if (name == "sim") return std::make_unique<Sim_backend>();
   if (name == "reference") return std::make_unique<Reference_backend>();
-  PP_CHECK(false, "unknown backend (expected 'sim' or 'reference')");
+  if (name == "parallel") return std::make_unique<Parallel_backend>(intra);
+  PP_CHECK(false,
+           "unknown backend (expected 'sim', 'reference' or 'parallel')");
   return nullptr;
 }
 

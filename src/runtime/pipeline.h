@@ -11,8 +11,10 @@
 //               pusch::run_use_case internals)
 //   execute()   functional slot execution: stream an uplink scenario through
 //               the stages on a pluggable Backend (backend.h) - the
-//               cycle-approximate simulator or the double-precision host
-//               reference - and score EVM/BER against the transmitted data
+//               cycle-approximate simulator ("sim") or the double-precision
+//               host models, serial ("reference") or intra-slot parallel
+//               ("parallel") - and score EVM/BER against the transmitted
+//               data
 //
 // Presets for the paper's use case and the end-to-end uplink slot live in
 // presets.h.

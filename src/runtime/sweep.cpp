@@ -79,7 +79,8 @@ Sweep_result Sweep_runner::run(const Sweep_grid& grid) const {
   std::vector<Slot_result> slots(n_slots);
   std::atomic<uint64_t> cursor{0};
   auto work = [&] {
-    const std::unique_ptr<Backend> backend = make_backend(opt_.backend);
+    const std::unique_ptr<Backend> backend =
+        make_backend(opt_.backend, opt_.intra);
     for (;;) {
       const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_slots) break;

@@ -1,25 +1,31 @@
 // Multi-threaded scenario sweep engine.
 //
-// A Sweep_grid spans a scenario space — numerologies (FFT size = active
-// sub-carriers), UE counts, QAM orders, SNR points — with `slots_per_point`
+// A Sweep_grid spans a scenario space - numerologies (FFT size = active
+// sub-carriers), UE counts, QAM orders, SNR points - with `slots_per_point`
 // independently-faded slots per grid point.  Sweep_runner executes every
-// slot of the grid on a host thread pool: workers pull global slot indices
-// from an atomic cursor, each owns a private Backend instance, and each slot
-// is generated from a seed derived purely from (base_seed, slot_index)
-// (common::Rng::derive_seed — SplitMix64).  Because a slot's result depends
-// only on the grid and its index, and aggregation walks slots in index
-// order, an N-worker run is bit-identical to the 1-worker run regardless of
-// how the OS schedules the pool.
+// slot of the grid on a host thread pool:
+//
+//   slot parallelism   workers pull global slot indices from an atomic
+//                      cursor; each owns a private Backend instance
+//   intra-slot         with backend "parallel", every slot worker's Backend
+//                      additionally splits each kernel across `intra`
+//                      threads (runtime::Parallel_backend), composing
+//                      slot-level x intra-slot parallelism
+//   determinism        each slot is generated from a seed derived purely
+//                      from (base_seed, slot_index) (common::Rng::derive_seed
+//                      - SplitMix64), and aggregation walks slots in index
+//                      order, so any (workers, intra) combination is
+//                      bit-identical to the serial run (docs/DETERMINISM.md)
 //
 // The per-point roll-up gives EVM/BER-vs-SNR curves, mean estimated noise,
-// and summed simulated cycles (zero on the reference backend); the totals
-// give wall-clock slots/sec — the throughput figure the paper's slot-budget
+// and summed simulated cycles (zero on the host backends); the totals give
+// wall-clock slots/sec - the throughput figure the paper's slot-budget
 // argument is about.
 //
 // Driven by name through the registry/preset layer: the pipeline is the
 // uplink_pipeline() preset over a named cluster, the backend comes from
-// make_backend("sim"|"reference").  examples/pusch_sweep.cpp is the CLI,
-// bench/bench_throughput_sweep.cpp the throughput harness.
+// make_backend("sim"|"reference"|"parallel").  examples/pusch_sweep.cpp is
+// the CLI, bench/bench_throughput_sweep.cpp the throughput harness.
 #ifndef PUSCHPOOL_RUNTIME_SWEEP_H
 #define PUSCHPOOL_RUNTIME_SWEEP_H
 
@@ -65,8 +71,12 @@ struct Sweep_grid {
 };
 
 struct Sweep_options {
-  uint32_t workers = 0;  // 0 = hardware_concurrency (min 1)
+  uint32_t workers = 0;  // slot-level workers; 0 = hardware_concurrency (min 1)
   std::string backend = "reference";  // make_backend() name
+  // Intra-slot workers per backend instance ("parallel" backend only,
+  // 0 = hardware_concurrency).  Total threads ~= workers * intra; pick
+  // workers * intra <= host cores when composing both levels.
+  uint32_t intra = 1;
   arch::Cluster_config cluster = arch::Cluster_config::minipool();
   Uplink_options uplink;  // preset knobs (FFT gangs, Cholesky batching)
   bool keep_slots = true;  // retain per-slot results (the bit-exact surface)

@@ -309,8 +309,16 @@ TEST(BackendCrossCheck, SimAndReferenceDecodeTheSamePayloads) {
 TEST(BackendCrossCheck, MakeBackendByName) {
   EXPECT_EQ(runtime::make_backend("sim")->name(), "sim");
   EXPECT_EQ(runtime::make_backend("reference")->name(), "reference");
+  EXPECT_EQ(runtime::make_backend("parallel", 2)->name(), "parallel");
   EXPECT_TRUE(runtime::make_backend("sim")->cycle_accurate());
   EXPECT_FALSE(runtime::make_backend("reference")->cycle_accurate());
+  EXPECT_FALSE(runtime::make_backend("parallel", 2)->cycle_accurate());
+}
+
+TEST(BackendCrossCheck, MakeBackendRejectsUnknownNames) {
+  EXPECT_DEATH(runtime::make_backend("cuda"), "unknown backend");
+  EXPECT_DEATH(runtime::make_backend(""), "unknown backend");
+  EXPECT_DEATH(runtime::make_backend("Reference"), "unknown backend");
 }
 
 // ---- new scheduling capability: Cholesky symbol batching -----------------
