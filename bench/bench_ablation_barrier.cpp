@@ -68,11 +68,25 @@ sim::Kernel_report run(const arch::Cluster_config& cfg, uint32_t gang,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using common::Table;
+  common::Cli cli(argc, argv);
   bench::banner(
-      "Partial-barrier trigger ablation (paper SIV)",
+      "[§IV]", "partial-barrier trigger ablation",
       "Hierarchical group/tile wake-up CSRs vs. one wake-up write per core.");
+  auto rep = bench::make_report("bench_ablation_barrier", "[§IV]",
+                                "partial-barrier trigger ablation");
+
+  const auto record = [&rep](const arch::Cluster_config& cfg, uint32_t gang,
+                             const char* trigger, const sim::Kernel_report& r) {
+    auto& row = rep.add_row(cfg.name + " " + std::to_string(gang) + " " +
+                            trigger);
+    row.cluster = cfg.name;
+    row.cores = gang;
+    row.metric("cycles", static_cast<double>(r.cycles), "cycles");
+    row.metric("ipc", r.ipc(), "ipc", true, "higher");
+    row.metric("frac_wfi", r.frac(sim::Stall::wfi), "fraction");
+  };
 
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
@@ -81,10 +95,11 @@ int main() {
                           cfg.n_cores()}) {
       for (const bool hier : {true, false}) {
         const auto r = run(cfg, gang, hier, 20);
-        t.add_row({cfg.name + " " + std::to_string(gang),
-                   hier ? "hierarchical CSR" : "per-core writes",
+        const char* trigger = hier ? "hierarchical CSR" : "per-core writes";
+        t.add_row({cfg.name + " " + std::to_string(gang), trigger,
                    Table::fmt(r.cycles), Table::fmt(r.ipc(), 2),
                    Table::pct(r.frac(sim::Stall::wfi))});
+        record(cfg, gang, trigger, r);
       }
     }
     // Full-cluster log barrier (hierarchical arrival + broadcast wake).
@@ -92,8 +107,9 @@ int main() {
     t.add_row({cfg.name + " " + std::to_string(cfg.n_cores()),
                "log-barrier arrival", Table::fmt(rt.cycles),
                Table::fmt(rt.ipc(), 2), Table::pct(rt.frac(sim::Stall::wfi))});
+    record(cfg, cfg.n_cores(), "log-barrier arrival", rt);
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

@@ -4,26 +4,31 @@
 // same cores and synchronization idle time grows.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
-  bench::banner("Fig. 7 ablation - Cholesky mirrored couples",
+  bench::banner("[Fig. 7]", "Cholesky mirrored-couple ablation",
                 "Paper: two instances with mirrored outputs rebalance the "
                 "staircase workload of the Cholesky-Crout kernel.");
+  auto rep = bench::make_report("bench_ablation_cholesky_mirror", "[Fig. 7]",
+                                "Cholesky mirrored-couple ablation");
 
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
     Table t(bench::ipc_header());
     for (const bool mirrored : {true, false}) {
-      const auto rep = bench::run_kernel(
+      const auto r = bench::measure_kernel(
           cfg, "chol.pair",
           runtime::Params().set("n", 32u).set("mirrored", mirrored));
-      t.add_row(bench::ipc_row(
-          cfg.name + (mirrored ? " mirrored (paper)" : " unmirrored"), rep));
+      const std::string name =
+          cfg.name + (mirrored ? " mirrored (paper)" : " unmirrored");
+      t.add_row(bench::ipc_row(name, r.rep));
+      rep.rows.push_back(bench::report_from(name, r, cfg.name));
     }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

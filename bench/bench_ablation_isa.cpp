@@ -6,14 +6,17 @@
 #include "bench/bench_util.h"
 #include "pusch/use_case_rollup.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
   bench::banner(
-      "ISA-extension ablation (paper SVI conclusion)",
+      "[§VI]", "ISA-extension ablation (paper's conclusion)",
       "Fused radix-4 butterfly instructions vs. the baseline SIMD sequence;\n"
       "target: one PUSCH slot within the 0.5 ms (500 kcycle @ 1 GHz) budget.");
+  auto rep = bench::make_report("bench_ablation_isa", "[§VI]",
+                                "ISA-extension ablation (paper's conclusion)");
 
   for (const auto& base : {arch::Cluster_config::terapool(),
                            arch::Cluster_config::mempool()}) {
@@ -30,9 +33,19 @@ int main() {
                  Table::fmt(res.parallel_cycles),
                  Table::fmt(res.ms_at_1ghz(), 3),
                  res.ms_at_1ghz() <= 0.5 ? "yes" : "no"});
+      auto& row = rep.add_row(
+          base.name + (fused ? " fused butterfly" : " baseline"));
+      row.cluster = base.name;
+      row.metric("fft_cycles_per_slot",
+                 static_cast<double>(res.stages[0].total_cycles()), "cycles");
+      row.metric("total_cycles", static_cast<double>(res.parallel_cycles),
+                 "cycles");
+      row.metric("ms_at_1ghz", res.ms_at_1ghz(), "ms");
+      row.metric("meets_slot_budget", res.ms_at_1ghz() <= 0.5 ? 1.0 : 0.0,
+                 "bool", true, "higher");
     }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

@@ -3,14 +3,17 @@
 // against 4x2 (12 loads / 16 MACs-equivalent) and 2x2 (16 loads / 16 MACs).
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
-  bench::banner("Fig. 6 ablation - MMM compute-window size",
+  bench::banner("[Fig. 6]", "MMM compute-window size ablation",
                 "Paper: the 4x4 window needs 8 loads per 16 complex MACs vs. "
                 "12 (4x2) or 16 (2x2);\nlarger windows raise data reuse and "
                 "arithmetic density.");
+  auto rep = bench::make_report("bench_ablation_mmm_window", "[Fig. 6]",
+                                "MMM compute-window size ablation");
 
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
@@ -24,14 +27,21 @@ int main() {
               .set("p", 256u)
               .set("wr", wr)
               .set("wc", wc));
-      t.add_row({cfg.name + " " + std::to_string(wr) + "x" + std::to_string(wc),
-                 Table::fmt(r.rep.cycles), Table::fmt(r.rep.ipc(), 2),
+      const std::string name =
+          cfg.name + " " + std::to_string(wr) + "x" + std::to_string(wc);
+      t.add_row({name, Table::fmt(r.rep.cycles), Table::fmt(r.rep.ipc(), 2),
                  Table::fmt(static_cast<double>(r.rep.instrs) / r.desc.macs, 2),
                  Table::fmt(static_cast<double>(r.desc.macs) / r.rep.cycles,
                             1)});
+      auto& row = rep.rows.emplace_back(bench::report_from(name, r, cfg.name));
+      row.metric("instr_per_cmac",
+                 static_cast<double>(r.rep.instrs) / r.desc.macs, "instr/mac");
+      row.metric("cmacs_per_cycle",
+                 static_cast<double>(r.desc.macs) / r.rep.cycles, "macs/cycle",
+                 true, "higher");
     }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

@@ -3,14 +3,17 @@
 #include "bench/bench_util.h"
 #include "pusch/complexity.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
   bench::banner(
-      "Fig. 3 - MACs per stage in the PUSCH chain",
+      "[Fig. 3]", "MACs per stage in the PUSCH chain",
       "Paper: OFDM + BF dominate; the MIMO share grows with the UE count.\n"
       "Amdahl's law therefore targets FFT, MMM and Cholesky for speedup.");
+  auto rep = bench::make_report("bench_fig3_stage_share", "[Fig. 3]",
+                                "MACs per stage in the PUSCH chain");
 
   Table t({"N_UE", "OFDM%", "BF%", "MIMO%", "CHE%", "NE%", "total MACs"});
   for (uint32_t nl : {1u, 2u, 4u, 8u, 12u, 16u}) {
@@ -21,6 +24,13 @@ int main() {
                Table::pct(s.ofdm / s.total()), Table::pct(s.bf / s.total()),
                Table::pct(s.mimo / s.total()), Table::pct(s.che / s.total()),
                Table::pct(s.ne / s.total()), Table::fmt(s.total(), 0)});
+    auto& row = rep.add_row("n_ue=" + std::to_string(nl));
+    row.metric("share_ofdm", s.ofdm / s.total(), "fraction", true, "exact");
+    row.metric("share_bf", s.bf / s.total(), "fraction", true, "exact");
+    row.metric("share_mimo", s.mimo / s.total(), "fraction", true, "exact");
+    row.metric("share_che", s.che / s.total(), "fraction", true, "exact");
+    row.metric("share_ne", s.ne / s.total(), "fraction", true, "exact");
+    row.metric("total_macs", s.total(), "macs", true, "exact");
   }
   t.print();
 
@@ -29,5 +39,5 @@ int main() {
   const auto s = pusch::pusch_macs(d);
   std::printf("\nFFT+BF+MIMO share at NL=4: %.1f%% (paper: ~99%%)\n",
               100.0 * (s.ofdm + s.bf + s.mimo) / s.total());
-  return 0;
+  return bench::emit(rep, cli);
 }

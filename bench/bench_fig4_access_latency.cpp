@@ -25,11 +25,14 @@ uint64_t probe_latency(const arch::Cluster_config& cfg, arch::bank_id bank) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using common::Table;
-  bench::banner("Fig. 4b - L1 access latencies",
+  common::Cli cli(argc, argv);
+  bench::banner("[Fig. 4b]", "L1 access latencies",
                 "Paper: 1 cycle local tile, 3 cycles same group, 5 cycles "
                 "remote group.");
+  auto rep = bench::make_report("bench_fig4_access_latency", "[Fig. 4b]",
+                                "L1 access latencies");
 
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
@@ -37,11 +40,18 @@ int main() {
     const arch::bank_id local = 0;
     const arch::bank_id group = cfg.banks_per_tile();  // tile 1, same group
     const arch::bank_id remote = cfg.n_banks() - 1;    // last group
-    t.add_row({cfg.name, "own tile", Table::fmt(probe_latency(cfg, local)), "1"});
-    t.add_row({cfg.name, "same group", Table::fmt(probe_latency(cfg, group)), "3"});
-    t.add_row({cfg.name, "remote group", Table::fmt(probe_latency(cfg, remote)), "5"});
+    for (const auto& [target, bank, paper] :
+         {std::tuple{"own tile", local, "1"}, {"same group", group, "3"},
+          {"remote group", remote, "5"}}) {
+      const uint64_t cycles = probe_latency(cfg, bank);
+      t.add_row({cfg.name, target, Table::fmt(cycles), paper});
+      auto& row = rep.add_row(cfg.name + " " + target);
+      row.cluster = cfg.name;
+      row.metric("load_to_use", static_cast<double>(cycles), "cycles", true,
+                 "exact");
+    }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

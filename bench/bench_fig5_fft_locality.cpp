@@ -4,20 +4,23 @@
 // bank conflicts), which shows up as RAW/LSU stalls and lost IPC.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
-  bench::banner("Fig. 5 - FFT folded access pattern ablation",
+  bench::banner("[Fig. 5]", "FFT folded access pattern ablation",
                 "Paper: the input vector is folded into the local banks so "
                 "that each butterfly's four inputs share a local memory row.");
+  auto rep = bench::make_report("bench_fig5_fft_locality", "[Fig. 5]",
+                                "FFT folded access pattern ablation");
 
   for (const auto& cfg : {arch::Cluster_config::mempool(),
                           arch::Cluster_config::terapool()}) {
     Table t(bench::ipc_header());
     for (const bool folded : {true, false}) {
       const uint32_t n = 4096;
-      const auto rep = bench::run_kernel(
+      const auto r = bench::measure_kernel(
           cfg, "fft.parallel",
           runtime::Params()
               .set("n", n)
@@ -25,12 +28,13 @@ int main() {
               .set("reps", 4u)
               .set("folded", folded),
           17);
-      t.add_row(bench::ipc_row(
-          cfg.name + (folded ? " folded (paper)" : " interleaved (naive)"),
-          rep));
+      const std::string name =
+          cfg.name + (folded ? " folded (paper)" : " interleaved (naive)");
+      t.add_row(bench::ipc_row(name, r.rep));
+      rep.rows.push_back(bench::report_from(name, r, cfg.name));
     }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

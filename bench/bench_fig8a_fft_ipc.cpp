@@ -14,37 +14,40 @@ runtime::Params fft(uint32_t n, uint32_t inst, uint32_t reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using common::Table;
+  common::Cli cli(argc, argv);
   bench::banner(
-      "Fig. 8a - FFT IPC and stall breakdown",
+      "[Fig. 8a]", "FFT IPC and stall breakdown",
       "Paper: MemPool reaches 0.82 IPC and TeraPool 0.74 with 16 independent\n"
       "4096-pt FFTs between barriers; TeraPool shows more WFI stalls; "
       "memory stalls stay below 10%.");
+  auto rep = bench::make_report("bench_fig8a_fft_ipc", "[Fig. 8a]",
+                                "FFT IPC and stall breakdown");
 
   Table t(bench::ipc_header());
   const auto mp = arch::Cluster_config::mempool();
   const auto tp = arch::Cluster_config::terapool();
 
-  t.add_row(bench::ipc_row(
-      "serial 256-pt (1 core)",
-      bench::run_kernel(mp, "fft.serial", runtime::Params().set("n", 256u), 7)));
-  t.add_row(bench::ipc_row(
-      "serial 4096-pt (1 core)",
-      bench::run_kernel(mp, "fft.serial", runtime::Params().set("n", 4096u), 7)));
+  const auto add = [&](const std::string& name,
+                       const arch::Cluster_config& cfg, const char* kernel,
+                       const runtime::Params& params, uint64_t seed = 1) {
+    const auto r = bench::measure_kernel(cfg, kernel, params, seed);
+    t.add_row(bench::ipc_row(name, r.rep));
+    rep.rows.push_back(bench::report_from(name, r, cfg.name));
+  };
 
-  t.add_row(bench::ipc_row("mempool  16 FFTs 256-pt",
-                           bench::run_kernel(mp, "fft.parallel", fft(256, 16, 1))));
-  t.add_row(bench::ipc_row("terapool 64 FFTs 256-pt",
-                           bench::run_kernel(tp, "fft.parallel", fft(256, 64, 1))));
-  t.add_row(bench::ipc_row("mempool  1 FFT 4096-pt",
-                           bench::run_kernel(mp, "fft.parallel", fft(4096, 1, 1))));
-  t.add_row(bench::ipc_row("terapool 4 FFTs 4096-pt",
-                           bench::run_kernel(tp, "fft.parallel", fft(4096, 4, 1))));
-  t.add_row(bench::ipc_row("mempool  1x16 FFTs 4096-pt",
-                           bench::run_kernel(mp, "fft.parallel", fft(4096, 1, 16))));
-  t.add_row(bench::ipc_row("terapool 4x16 FFTs 4096-pt",
-                           bench::run_kernel(tp, "fft.parallel", fft(4096, 4, 16))));
+  add("serial 256-pt (1 core)", mp, "fft.serial",
+      runtime::Params().set("n", 256u), 7);
+  add("serial 4096-pt (1 core)", mp, "fft.serial",
+      runtime::Params().set("n", 4096u), 7);
+
+  add("mempool  16 FFTs 256-pt", mp, "fft.parallel", fft(256, 16, 1));
+  add("terapool 64 FFTs 256-pt", tp, "fft.parallel", fft(256, 64, 1));
+  add("mempool  1 FFT 4096-pt", mp, "fft.parallel", fft(4096, 1, 1));
+  add("terapool 4 FFTs 4096-pt", tp, "fft.parallel", fft(4096, 4, 1));
+  add("mempool  1x16 FFTs 4096-pt", mp, "fft.parallel", fft(4096, 1, 16));
+  add("terapool 4x16 FFTs 4096-pt", tp, "fft.parallel", fft(4096, 4, 16));
   t.print();
-  return 0;
+  return bench::emit(rep, cli);
 }

@@ -24,47 +24,56 @@ std::string shape(uint32_t m, uint32_t k, uint32_t p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using common::Table;
+  common::Cli cli(argc, argv);
   bench::banner(
-      "Fig. 8b - MMM IPC and stall breakdown",
+      "[Fig. 8b]", "MMM IPC and stall breakdown",
       "Paper: 0.89 IPC on MemPool / 0.88 on TeraPool at 256x128x256; the\n"
       "irregular 4096x64x32 use-case shape costs a few IPC points; TeraPool\n"
       "shows more instruction stalls (fewer loop iterations per core).\n"
       "MemPool runs the 4096-row grid in two 2048-row slices (1 MiB L1).");
+  auto rep = bench::make_report("bench_fig8b_mmm_ipc", "[Fig. 8b]",
+                                "MMM IPC and stall breakdown");
 
   Table t(bench::ipc_header());
   std::vector<std::pair<std::string, double>> macs;
   const auto mp = arch::Cluster_config::mempool();
   const auto tp = arch::Cluster_config::terapool();
 
-  t.add_row(bench::ipc_row(
-      "serial 128x128x128 (1 core)",
-      bench::run_kernel(mp, "mmm", mmm(128, 128, 128, true))));
+  // Adds the table row and the report row; with `macs_name` non-empty the
+  // cMACs/cycle figure is recorded under that label too.
+  const auto add = [&](const std::string& name,
+                       const arch::Cluster_config& cfg,
+                       const runtime::Params& params,
+                       const std::string& macs_name = "") {
+    const auto r = bench::measure_kernel(cfg, "mmm", params);
+    t.add_row(bench::ipc_row(name, r.rep));
+    auto& row = rep.rows.emplace_back(bench::report_from(name, r, cfg.name));
+    if (!macs_name.empty()) {
+      macs.emplace_back(macs_name, cmacs_per_cycle(r));
+      row.metric("cmacs_per_cycle", cmacs_per_cycle(r), "macs/cycle", true,
+                 "higher");
+    }
+  };
+
+  add("serial 128x128x128 (1 core)", mp, mmm(128, 128, 128, true));
   for (auto [m, k, p] : {std::tuple{128u, 128u, 128u}, {256u, 128u, 256u}}) {
     for (const auto& cfg : {mp, tp}) {
-      const auto r = bench::measure_kernel(cfg, "mmm", mmm(m, k, p));
-      t.add_row(bench::ipc_row(cfg.name + " " + shape(m, k, p), r.rep));
-      macs.emplace_back(cfg.name + " " + shape(m, k, p), cmacs_per_cycle(r));
+      add(cfg.name + " " + shape(m, k, p), cfg, mmm(m, k, p),
+          cfg.name + " " + shape(m, k, p));
     }
   }
   // Use-case shape: slice rows on MemPool (L1 capacity), full on TeraPool.
-  {
-    const auto r = bench::measure_kernel(mp, "mmm", mmm(2048, 64, 32));
-    t.add_row(bench::ipc_row("mempool 2x(2048x64x32)", r.rep));
-    macs.emplace_back("mempool 4096x64x32 (2 slices)", cmacs_per_cycle(r));
-  }
-  {
-    const auto r = bench::measure_kernel(tp, "mmm", mmm(4096, 64, 32));
-    t.add_row(bench::ipc_row("terapool 4096x64x32", r.rep));
-    macs.emplace_back("terapool 4096x64x32", cmacs_per_cycle(r));
-  }
+  add("mempool 2x(2048x64x32)", mp, mmm(2048, 64, 32),
+      "mempool 4096x64x32 (2 slices)");
+  add("terapool 4096x64x32", tp, mmm(4096, 64, 32), "terapool 4096x64x32");
   t.print();
 
   std::printf("\ncomplex MACs per cycle (paper counts SIMD MAC ops; see "
-              "EXPERIMENTS.md):\n");
+              "docs/BENCHMARKS.md):\n");
   for (const auto& [name, v] : macs) {
     std::printf("  %-32s %7.1f cMACs/cycle\n", name.c_str(), v);
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

@@ -17,36 +17,39 @@ runtime::Params serial(uint32_t n, uint32_t reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using common::Table;
+  common::Cli cli(argc, argv);
   bench::banner(
-      "Fig. 8c - Cholesky IPC and stall breakdown",
+      "[Fig. 8c]", "Cholesky IPC and stall breakdown",
       "Paper: the staircase structure leaves RAW stalls (mul/div outputs)\n"
       "and synchronization idle time; batching 16 decompositions per core\n"
       "between barriers reaches 0.71 IPC on both clusters.");
+  auto rep = bench::make_report("bench_fig8c_cholesky_ipc", "[Fig. 8c]",
+                                "Cholesky IPC and stall breakdown");
 
   const auto mp = arch::Cluster_config::mempool();
   const auto tp = arch::Cluster_config::terapool();
 
   Table t(bench::ipc_header());
-  t.add_row(bench::ipc_row("serial 4x4 x16 (1 core)",
-                           bench::run_kernel(mp, "chol.serial", serial(4, 16))));
-  t.add_row(bench::ipc_row("serial 32x32 (1 core)",
-                           bench::run_kernel(mp, "chol.serial", serial(32, 1))));
-  t.add_row(bench::ipc_row("mempool  4x256 dec 4x4",
-                           bench::run_kernel(mp, "chol.batch", batch(4))));
-  t.add_row(bench::ipc_row("terapool 4x1024 dec 4x4",
-                           bench::run_kernel(tp, "chol.batch", batch(4))));
-  t.add_row(bench::ipc_row("mempool  16x256 dec 4x4",
-                           bench::run_kernel(mp, "chol.batch", batch(16))));
-  t.add_row(bench::ipc_row("terapool 16x1024 dec 4x4",
-                           bench::run_kernel(tp, "chol.batch", batch(16))));
-  t.add_row(bench::ipc_row(
-      "mempool  2x32 dec 32x32",
-      bench::run_kernel(mp, "chol.pair", runtime::Params().set("n", 32u))));
-  t.add_row(bench::ipc_row(
-      "terapool 2x128 dec 32x32",
-      bench::run_kernel(tp, "chol.pair", runtime::Params().set("n", 32u))));
+  const auto add = [&](const std::string& name,
+                       const arch::Cluster_config& cfg, const char* kernel,
+                       const runtime::Params& params) {
+    const auto r = bench::measure_kernel(cfg, kernel, params);
+    t.add_row(bench::ipc_row(name, r.rep));
+    rep.rows.push_back(bench::report_from(name, r, cfg.name));
+  };
+
+  add("serial 4x4 x16 (1 core)", mp, "chol.serial", serial(4, 16));
+  add("serial 32x32 (1 core)", mp, "chol.serial", serial(32, 1));
+  add("mempool  4x256 dec 4x4", mp, "chol.batch", batch(4));
+  add("terapool 4x1024 dec 4x4", tp, "chol.batch", batch(4));
+  add("mempool  16x256 dec 4x4", mp, "chol.batch", batch(16));
+  add("terapool 16x1024 dec 4x4", tp, "chol.batch", batch(16));
+  add("mempool  2x32 dec 32x32", mp, "chol.pair",
+      runtime::Params().set("n", 32u));
+  add("terapool 2x128 dec 32x32", tp, "chol.pair",
+      runtime::Params().set("n", 32u));
   t.print();
-  return 0;
+  return bench::emit(rep, cli);
 }

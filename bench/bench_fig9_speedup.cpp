@@ -18,13 +18,24 @@ struct Row {
   uint64_t serial_cycles;   // same work, one core
   sim::Kernel_report rep;   // parallel run
   uint32_t limit;           // cores used (theoretical speedup bound)
+  std::string kernel;       // registry key of the parallel run
+  std::string params;       // resolved configuration
 };
 
-void add(Table& t, const Row& r) {
-  t.add_row({r.name, Table::fmt(r.rep.cycles),
-             Table::fmt(static_cast<double>(r.serial_cycles) / r.rep.cycles, 1),
+void add(Table& t, bench::Report& rep, const arch::Cluster_config& cfg,
+         const Row& r) {
+  const double speedup = static_cast<double>(r.serial_cycles) / r.rep.cycles;
+  t.add_row({r.name, Table::fmt(r.rep.cycles), Table::fmt(speedup, 1),
              Table::fmt(static_cast<uint64_t>(r.limit)),
              Table::fmt(r.rep.ipc(), 2)});
+  auto& row = rep.add_row(cfg.name + " " + r.name);
+  row.cluster = cfg.name;
+  row.kernel = r.kernel;
+  row.params = r.params;
+  row.cores = r.limit;
+  row.metric("cycles", static_cast<double>(r.rep.cycles), "cycles");
+  row.metric("speedup", speedup, "x", true, "higher");
+  row.metric("ipc", r.rep.ipc(), "ipc", true, "higher");
 }
 
 Row fft_row(const arch::Cluster_config& cfg, uint32_t n, uint32_t n_inst,
@@ -33,7 +44,9 @@ Row fft_row(const arch::Cluster_config& cfg, uint32_t n, uint32_t n_inst,
       cfg, "fft.parallel",
       Params().set("n", n).set("inst", n_inst).set("reps", reps));
   const auto ser = bench::run_kernel(cfg, "fft.serial", Params().set("n", n));
-  return {name, ser.cycles * n_inst * reps, par.rep, par.desc.cores};
+  return {name,          ser.cycles * n_inst * reps,
+          par.rep,       par.desc.cores,
+          par.desc.name, par.desc.params.describe()};
 }
 
 Row mmm_row(const arch::Cluster_config& cfg, uint32_t m, uint32_t k,
@@ -41,62 +54,69 @@ Row mmm_row(const arch::Cluster_config& cfg, uint32_t m, uint32_t k,
   const Params dims = Params().set("m", m).set("k", k).set("p", p);
   const auto rs =
       bench::run_kernel(cfg, "mmm", Params(dims).set("mode", "serial"));
-  auto rp = bench::run_kernel(cfg, "mmm", dims);
+  auto rp = bench::measure_kernel(cfg, "mmm", dims);
   // Sliced runs repeat the same kernel; scale all counters coherently.
-  rp.cycles *= slices;
-  rp.instrs *= slices;
-  for (auto& s : rp.stall) s *= slices;
-  return {name, rs.cycles * slices, rp, cfg.n_cores()};
+  rp.rep.cycles *= slices;
+  rp.rep.instrs *= slices;
+  for (auto& s : rp.rep.stall) s *= slices;
+  return {name,         rs.cycles * slices,
+          rp.rep,       cfg.n_cores(),
+          rp.desc.name, rp.desc.params.describe()};
 }
 
 Row chol_batch_row(const arch::Cluster_config& cfg, uint32_t per_core,
                    const std::string& name) {
-  const auto par = bench::run_kernel(
+  const auto par = bench::measure_kernel(
       cfg, "chol.batch", Params().set("n", 4u).set("per_core", per_core));
   // Serial: the same number of 4x4 decompositions on one core.
   const auto ser = bench::run_kernel(cfg, "chol.serial",
                                      Params().set("n", 4u).set("reps", 16u));
   const uint64_t serial =
       ser.cycles * (static_cast<uint64_t>(per_core) * cfg.n_cores()) / 16;
-  return {name, serial, par, cfg.n_cores()};
+  return {name,          serial,
+          par.rep,       cfg.n_cores(),
+          par.desc.name, par.desc.params.describe()};
 }
 
 Row chol_pair_row(const arch::Cluster_config& cfg, const std::string& name) {
   const uint32_t n_pairs = cfg.n_cores() / 8;
-  const auto par = bench::run_kernel(
+  const auto par = bench::measure_kernel(
       cfg, "chol.pair", Params().set("n", 32u).set("pairs", n_pairs));
   const auto ser =
       bench::run_kernel(cfg, "chol.serial", Params().set("n", 32u));
-  return {name, ser.cycles * 2ull * n_pairs, par, cfg.n_cores()};
+  return {name,          ser.cycles * 2ull * n_pairs,
+          par.rep,       cfg.n_cores(),
+          par.desc.name, par.desc.params.describe()};
 }
 
-void run_cluster(const arch::Cluster_config& cfg) {
+void run_cluster(const arch::Cluster_config& cfg, bench::Report& rep) {
   std::printf("--- %s (%u cores) ---\n", cfg.name.c_str(), cfg.n_cores());
   Table t({"configuration", "cycles", "speedup", "limit", "IPC"});
   const uint32_t gangs256 = cfg.n_cores() / 16;
   const uint32_t gangs4096 = cfg.n_cores() / 256;
 
-  add(t, fft_row(cfg, 256, gangs256, 1,
-                 std::to_string(gangs256) + " FFTs 256-pt"));
-  add(t, fft_row(cfg, 4096, gangs4096, 1,
-                 std::to_string(gangs4096) + " FFT(s) 4096-pt"));
-  add(t, fft_row(cfg, 4096, gangs4096, 16,
-                 std::to_string(gangs4096) + "x16 FFTs 4096-pt"));
+  add(t, rep, cfg, fft_row(cfg, 256, gangs256, 1,
+                           std::to_string(gangs256) + " FFTs 256-pt"));
+  add(t, rep, cfg, fft_row(cfg, 4096, gangs4096, 1,
+                           std::to_string(gangs4096) + " FFT(s) 4096-pt"));
+  add(t, rep, cfg, fft_row(cfg, 4096, gangs4096, 16,
+                           std::to_string(gangs4096) + "x16 FFTs 4096-pt"));
 
-  add(t, mmm_row(cfg, 128, 128, 128, 1, "MMM 128x128x128"));
-  add(t, mmm_row(cfg, 256, 128, 256, 1, "MMM 256x128x256"));
+  add(t, rep, cfg, mmm_row(cfg, 128, 128, 128, 1, "MMM 128x128x128"));
+  add(t, rep, cfg, mmm_row(cfg, 256, 128, 256, 1, "MMM 256x128x256"));
   if (cfg.n_cores() >= 1024) {
-    add(t, mmm_row(cfg, 4096, 64, 32, 1, "MMM 4096x64x32"));
+    add(t, rep, cfg, mmm_row(cfg, 4096, 64, 32, 1, "MMM 4096x64x32"));
   } else {
-    add(t, mmm_row(cfg, 2048, 64, 32, 2, "MMM 4096x64x32 (2 slices)"));
+    add(t, rep, cfg, mmm_row(cfg, 2048, 64, 32, 2, "MMM 4096x64x32 (2 slices)"));
   }
 
-  add(t, chol_batch_row(cfg, 4, "4x" + std::to_string(cfg.n_cores()) +
-                                    " Chol 4x4"));
-  add(t, chol_batch_row(cfg, 16, "16x" + std::to_string(cfg.n_cores()) +
-                                     " Chol 4x4"));
-  add(t, chol_pair_row(cfg, "2x" + std::to_string(cfg.n_cores() / 8) +
-                                " Chol 32x32"));
+  add(t, rep, cfg, chol_batch_row(cfg, 4, "4x" + std::to_string(cfg.n_cores()) +
+                                              " Chol 4x4"));
+  add(t, rep, cfg,
+      chol_batch_row(cfg, 16, "16x" + std::to_string(cfg.n_cores()) +
+                                  " Chol 4x4"));
+  add(t, rep, cfg, chol_pair_row(cfg, "2x" + std::to_string(cfg.n_cores() / 8) +
+                                          " Chol 32x32"));
   t.print();
   std::printf("\n");
 }
@@ -106,15 +126,20 @@ void run_cluster(const arch::Cluster_config& cfg) {
 int main(int argc, char** argv) {
   using namespace pp;
   common::Cli cli(argc, argv);
-  bench::banner("Fig. 9a/9b - kernel speedups vs serial single-core execution",
+  bench::banner("[Fig. 9a/9b]",
+                "kernel speedups vs serial single-core execution",
                 "Paper: MemPool 211/225/158, TeraPool 762/880/722 (batched "
                 "configurations);\ndotted line = number of cores used.");
+  auto rep = bench::make_report("bench_fig9_speedup", "[Fig. 9a/9b]",
+                                "kernel speedups vs serial single-core "
+                                "execution");
   const std::string arch = cli.get("--arch", "both");
+  rep.add_meta("arch", arch);
   if (arch == "mempool" || arch == "both") {
-    run_cluster(arch::Cluster_config::mempool());
+    run_cluster(arch::Cluster_config::mempool(), rep);
   }
   if (arch == "terapool" || arch == "both") {
-    run_cluster(arch::Cluster_config::terapool());
+    run_cluster(arch::Cluster_config::terapool(), rep);
   }
-  return 0;
+  return bench::emit(rep, cli);
 }

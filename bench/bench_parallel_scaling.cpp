@@ -13,6 +13,7 @@
 //
 //   ./bench/bench_parallel_scaling                  # workers 1,2,4,8
 //   ./bench/bench_parallel_scaling --workers 1,2,16 --fft 4096 --batches 2048
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,16 +37,17 @@ double now_seconds() {
       .count();
 }
 
-// Best-of-3 wall time of fn() (first call may also warm lazy tables).
+// Three timed repetitions of fn() (the first may also warm lazy tables);
+// the table reports the min, the JSON report keeps min/median/stdev.
 template <typename Fn>
-double time_best(Fn&& fn) {
-  double best = 1e300;
+std::vector<double> time_samples(Fn&& fn) {
+  std::vector<double> samples;
   for (int i = 0; i < 3; ++i) {
     const double t0 = now_seconds();
     fn();
-    best = std::min(best, now_seconds() - t0);
+    samples.push_back(now_seconds() - t0);
   }
-  return best;
+  return samples;
 }
 
 std::vector<cd> random_cd(size_t n, uint64_t seed) {
@@ -57,7 +59,13 @@ std::vector<cd> random_cd(size_t n, uint64_t seed) {
 
 struct Stage_timing {
   std::string name;
-  std::vector<double> seconds;  // one entry per worker count
+  std::vector<double> seconds;               // min, one entry per worker count
+  std::vector<std::vector<double>> samples;  // raw repetitions per entry
+
+  void push(std::vector<double> s) {
+    seconds.push_back(*std::min_element(s.begin(), s.end()));
+    samples.push_back(std::move(s));
+  }
 };
 
 }  // namespace
@@ -71,7 +79,7 @@ int main(int argc, char** argv) {
   const uint32_t mmm_rows = cli.get_u32("--rows", 4096);
   const uint32_t batches = cli.get_u32("--batches", 4096);
 
-  bench::banner("intra-slot host-parallel scaling (paper Fig. 9 analogue)",
+  bench::banner("[Fig. 9 host]", "intra-slot host-parallel scaling",
                 "per-stage + whole-slot speedup of the 'parallel' backend; "
                 "every row of every run is checked bit-identical to the "
                 "first --workers entry's run");
@@ -87,21 +95,16 @@ int main(int argc, char** argv) {
   const auto chol_h = random_cd(static_cast<size_t>(n_beams) * n_ue, 5);
   const auto chol_y = random_cd(n_beams, 6);
 
-  std::vector<Stage_timing> rows = {
-      {"FFT fan-out (" + std::to_string(n_ffts) + " x " +
-           std::to_string(fft_size) + ")",
-       {}},
-      {"matched filter MMM (" + std::to_string(mmm_rows) + " x " +
-           std::to_string(n_rx) + " x " + std::to_string(n_beams) + ")",
-       {}},
-      {"Gram rows (" + std::to_string(mmm_rows) + " x " +
-           std::to_string(n_rx) + ")",
-       {}},
-      {"Cholesky+solve batches (" + std::to_string(batches) + " x " +
-           std::to_string(n_beams) + "x" + std::to_string(n_ue) + ")",
-       {}},
-      {"full slot (parallel backend)", {}},
-  };
+  std::vector<Stage_timing> rows(5);
+  rows[0].name = "FFT fan-out (" + std::to_string(n_ffts) + " x " +
+                 std::to_string(fft_size) + ")";
+  rows[1].name = "matched filter MMM (" + std::to_string(mmm_rows) + " x " +
+                 std::to_string(n_rx) + " x " + std::to_string(n_beams) + ")";
+  rows[2].name = "Gram rows (" + std::to_string(mmm_rows) + " x " +
+                 std::to_string(n_rx) + ")";
+  rows[3].name = "Cholesky+solve batches (" + std::to_string(batches) + " x " +
+                 std::to_string(n_beams) + "x" + std::to_string(n_ue) + ")";
+  rows[4].name = "full slot (parallel backend)";
 
   // Whole-slot scenario: a heavy config so the parallel regions dominate.
   phy::Uplink_config slot_cfg;
@@ -133,7 +136,7 @@ int main(int argc, char** argv) {
 
     // FFT fan-out over n_ffts independent transforms.
     std::vector<std::vector<cd>> fft_out(n_ffts);
-    rows[0].seconds.push_back(time_best([&] {
+    rows[0].push(time_samples([&] {
       pool.parallel_for(n_ffts,
                         [&](uint64_t i) { fft_out[i] = ref::fft(fft_in); });
     }));
@@ -146,7 +149,7 @@ int main(int argc, char** argv) {
 
     // Matched-filter MMM, row-block tiled.
     std::vector<cd> mf_c(static_cast<size_t>(mmm_rows) * n_beams);
-    rows[1].seconds.push_back(time_best([&] {
+    rows[1].push(time_samples([&] {
       pool.run([&](uint32_t id) {
         const auto [first, last] = Thread_pool::slice(mmm_rows, id, w);
         ref::matmul_rows(mf_a, mf_b, mf_c, mmm_rows, n_rx, n_beams, first,
@@ -162,7 +165,7 @@ int main(int argc, char** argv) {
 
     // Gram rows (A^H A of a tall matrix), row-block tiled.
     std::vector<cd> gram_g(static_cast<size_t>(n_rx) * n_rx);
-    rows[2].seconds.push_back(time_best([&] {
+    rows[2].push(time_samples([&] {
       pool.run([&](uint32_t id) {
         const auto [first, last] = Thread_pool::slice(n_rx, id, w);
         ref::gram_rows(gram_a, gram_g, mmm_rows, n_rx, first, last);
@@ -177,7 +180,7 @@ int main(int argc, char** argv) {
 
     // Per-UE-batch Cholesky + substitutions, batches sliced across workers.
     std::vector<std::vector<cd>> xs(batches);
-    rows[3].seconds.push_back(time_best([&] {
+    rows[3].push(time_samples([&] {
       pool.parallel_for(batches, [&](uint64_t i) {
         xs[i] = ref::lmmse(chol_h, chol_y, n_beams, n_ue, 1e-3);
       });
@@ -193,8 +196,8 @@ int main(int argc, char** argv) {
     // Full slot through the backend, parity-checked against 1 worker.
     runtime::Parallel_backend backend(w);
     runtime::Slot_result slot;
-    rows[4].seconds.push_back(
-        time_best([&] { slot = pipeline.execute(slot_sc, backend); }));
+    rows[4].push(
+        time_samples([&] { slot = pipeline.execute(slot_sc, backend); }));
     if (wi == 0) {
       slot_serial = slot;
     } else if (slot.bits != slot_serial.bits || slot.evm != slot_serial.evm ||
@@ -224,5 +227,23 @@ int main(int argc, char** argv) {
       "\nspeedups are vs. this binary's own %u-worker run; all parallel "
       "results verified bit-identical to it.\n",
       base_workers);
-  return 0;
+
+  // JSON report: all wall-clock (host-dependent, min/median/stdev over the
+  // 3 repetitions); the only deterministic metric is the parity check.
+  auto rep = bench::make_report("bench_parallel_scaling", "[Fig. 9 host]",
+                                "intra-slot host-parallel scaling");
+  rep.add_meta("hardware_threads",
+               std::to_string(std::thread::hardware_concurrency()));
+  rep.add_meta("base_workers", std::to_string(base_workers));
+  for (const auto& row : rows) {
+    for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
+      auto& r = rep.add_row(row.name + " @" +
+                            std::to_string(worker_counts[wi]) + "w");
+      r.metric(bench::wall_metric("wall", row.samples[wi]));
+      r.metric("speedup_vs_base", row.seconds[0] / row.seconds[wi], "x",
+               false, "info");
+    }
+  }
+  rep.add_row("parity").metric("bit_identical", 1.0, "bool", true, "higher");
+  return bench::emit(rep, cli);
 }

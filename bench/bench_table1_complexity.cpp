@@ -3,13 +3,16 @@
 #include "bench/bench_util.h"
 #include "pusch/complexity.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
   using common::Table;
+  common::Cli cli(argc, argv);
 
-  bench::banner("Table I - PUSCH kernels and computational complexity",
+  bench::banner("[Table I]", "PUSCH kernels and computational complexity",
                 "Complex MACs per slot for the use case: 100 MHz / 30 kHz "
                 "(4096-pt grid), 14 symbols (2 pilot), 64 antennas, 32 beams.");
+  auto rep = bench::make_report("bench_table1_complexity", "[Table I]",
+                                "PUSCH kernels and computational complexity");
 
   Table t({"PUSCH stage", "key kernel", "complex MACs formula", "NL=4 MACs/slot"});
   for (uint32_t nl : {1u, 2u, 4u, 8u, 16u}) {
@@ -28,8 +31,18 @@ int main() {
       t.add_row({"NE", "autocorrelation", "Npilot*NSC*2*NB*NL",
                  Table::fmt(s.ne, 0)});
       t.add_row({"total", "", "", Table::fmt(s.total(), 0)});
+      for (const auto& [stage, macs] :
+           {std::pair<const char*, double>{"OFDM dem.", s.ofdm},
+            {"BF", s.bf},
+            {"MIMO", s.mimo},
+            {"CHE", s.che},
+            {"NE", s.ne},
+            {"total", s.total()}}) {
+        rep.add_row(stage).metric("macs_per_slot", macs, "macs", true,
+                                  "exact");
+      }
     }
   }
   t.print();
-  return 0;
+  return bench::emit(rep, cli);
 }

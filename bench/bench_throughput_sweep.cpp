@@ -47,10 +47,12 @@ bool bit_identical(const runtime::Sweep_result& a,
 
 int main(int argc, char** argv) {
   common::Cli cli(argc, argv);
-  bench::banner("Slot-sweep throughput",
+  bench::banner("[host]", "slot-sweep throughput",
                 "Scenario grid executed serially and slot-parallel on a host "
                 "thread pool;\nN-worker results are bit-identical to the "
                 "serial run by construction.");
+  auto rep = bench::make_report("bench_throughput_sweep", "[host]",
+                                "slot-sweep throughput");
 
   runtime::Sweep_grid grid;
   grid.fft_sizes = cli.get_u32_list("--fft", "64,256,1024");
@@ -84,5 +86,35 @@ int main(int argc, char** argv) {
               serial.wall_seconds / parallel.wall_seconds);
   const bool ok = bit_identical(serial, parallel);
   std::printf("bit-identical to serial: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+
+  // Per-point curves are bit-exact (the determinism contract), so they gate
+  // the compare tool; the wall-clock throughput figures do not.
+  rep.add_meta("backend", opt.backend);
+  rep.add_meta("cluster", opt.cluster.name);
+  rep.add_meta("workers", std::to_string(pool));
+  for (const auto& p : parallel.points) {
+    auto& row = rep.add_row(
+        "fft=" + std::to_string(p.point.fft_size) +
+        " ue=" + std::to_string(p.point.n_ue) +
+        " qam=" + std::to_string(static_cast<uint32_t>(p.point.qam)) +
+        " snr=" + common::Table::fmt(p.point.snr_db, 1));
+    row.cluster = opt.cluster.name;
+    row.metric("evm", p.evm, "rms", true, "exact");
+    row.metric("ber", p.ber, "rate", true, "exact");
+    row.metric("sigma2_hat", p.sigma2_hat, "power", true, "exact");
+    if (p.cycles) {
+      row.metric("cycles", static_cast<double>(p.cycles), "cycles");
+    }
+  }
+  auto& totals = rep.add_row("throughput");
+  totals.metric("total_slots", static_cast<double>(parallel.total_slots),
+                "count", true, "exact");
+  totals.metric("bit_identical", ok ? 1.0 : 0.0, "bool", true, "higher");
+  totals.metric("serial_slots_per_s", serial.slots_per_second(), "slots/s",
+                false, "info");
+  totals.metric("parallel_slots_per_s", parallel.slots_per_second(),
+                "slots/s", false, "info");
+  totals.metric("speedup", serial.wall_seconds / parallel.wall_seconds, "x",
+                false, "info");
+  return bench::emit(rep, cli) | (ok ? 0 : 1);
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "baseline/reference.h"
+#include "bench/report.h"
 #include "common/cli.h"
 #include "common/complex16.h"
 #include "common/rng.h"
@@ -106,8 +107,64 @@ inline std::vector<std::string> ipc_row(const std::string& name,
           Table::pct(r.frac(Stall::wfi))};
 }
 
-inline void banner(const char* title, const char* paper_note) {
-  std::printf("\n=== %s ===\n%s\n\n", title, paper_note);
+// Banner with the normalized figure tag every bench leads with; the same
+// `figure` string goes verbatim into Report.figure and the
+// docs/BENCHMARKS.md mapping table ("[Fig. 8a]", "[Table I]", "[SIV]").
+inline void banner(const char* figure, const char* title,
+                   const char* paper_note) {
+  std::printf("\n=== %s %s ===\n%s\n\n", figure, title, paper_note);
+}
+
+// ---- machine-readable reports (report.h) ----------------------------------
+
+// Fresh report with the shared metadata filled in; `figure` and `title`
+// are the banner() arguments.
+inline Report make_report(const char* bench_name, const char* figure,
+                          const char* title) {
+  Report r;
+  r.bench = bench_name;
+  r.figure = figure;
+  r.title = title;
+  r.git = git_describe();
+  return r;
+}
+
+// The standard Fig. 8 breakdown as metrics: cycles, IPC and the stall
+// fractions - all simulator-derived, so all deterministic.
+inline void add_ipc_metrics(Row& row, const sim::Kernel_report& r) {
+  using sim::Stall;
+  row.metric("cycles", static_cast<double>(r.cycles), "cycles");
+  row.metric("ipc", r.ipc(), "ipc", true, "higher");
+  row.metric("frac_instr", r.frac_instr(), "fraction", true, "higher");
+  row.metric("frac_raw", r.frac(Stall::raw), "fraction");
+  row.metric("frac_lsu", r.frac(Stall::lsu), "fraction");
+  row.metric("frac_icache", r.frac(Stall::icache), "fraction");
+  row.metric("frac_extunit", r.frac(Stall::extunit), "fraction");
+  row.metric("frac_wfi", r.frac(Stall::wfi), "fraction");
+}
+
+// Row from one measure_kernel() run: the resolved Kernel_desc plus the
+// standard IPC/stall metrics.  Mirrors ipc_row() for the human table.
+inline Row report_from(const std::string& name, const Measured& m,
+                       const std::string& cluster = "") {
+  Row row;
+  row.name = name;
+  row.cluster = cluster;
+  row.kernel = m.desc.name;
+  row.params = m.desc.params.describe();
+  row.cores = m.desc.cores;
+  row.macs = m.desc.macs;
+  add_ipc_metrics(row, m.rep);
+  return row;
+}
+
+// Honors `--json <path>`: absent -> no-op (stdout tables stay the only
+// output), present -> serialize `rep`.  Returns the process exit code to
+// combine with the bench's own status: `return emit(rep, cli) | status;`.
+inline int emit(const Report& rep, const common::Cli& cli) {
+  const std::string path = cli.get("--json", "");
+  if (path.empty()) return 0;
+  return rep.write_json(path) ? 0 : 1;
 }
 
 }  // namespace pp::bench

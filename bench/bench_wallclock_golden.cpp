@@ -1,9 +1,15 @@
 // Host wall-clock microbenchmarks (google-benchmark) of the golden models
 // and the Q15 arithmetic layer.  These are not paper figures; they document
 // the cost of the verification infrastructure itself.
+//
+// `--json <path>` (handled before google-benchmark sees the flags) captures
+// every run through a console-reporter subclass and emits the shared
+// pp::bench::Report schema next to the usual console output, so the
+// bench_all aggregator treats this binary like every other bench.
 #include <benchmark/benchmark.h>
 
 #include "baseline/reference.h"
+#include "bench/report.h"
 #include "common/complex16.h"
 #include "common/rng.h"
 #include "phy/qam.h"
@@ -72,6 +78,59 @@ void BM_QamModDemod(benchmark::State& state) {
 }
 BENCHMARK(BM_QamModDemod);
 
+// Console reporter that additionally records each run into the Report.
+class Capture_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit Capture_reporter(bench::Report* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      auto& row = rep_->add_row(run.benchmark_name());
+      // Wall time per iteration; host-dependent by definition.
+      row.metric("real_time_per_iter",
+                 run.real_accumulated_time / static_cast<double>(run.iterations),
+                 "s", false, "info");
+      row.metric("cpu_time_per_iter",
+                 run.cpu_accumulated_time / static_cast<double>(run.iterations),
+                 "s", false, "info");
+      row.metric("iterations", static_cast<double>(run.iterations), "count",
+                 false, "info");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Report* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --json flag; everything else goes to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  bench::Report rep;
+  rep.bench = "bench_wallclock_golden";
+  rep.figure = "[host]";
+  rep.title = "golden-model wall-clock microbenchmarks";
+  rep.git = bench::git_describe();
+  Capture_reporter reporter(&rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !rep.write_json(json_path)) return 1;
+  return 0;
+}

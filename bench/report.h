@@ -1,0 +1,195 @@
+// Machine-readable benchmark reports.
+//
+// Every bench binary assembles one pp::bench::Report next to its human
+// table: run metadata (bench name, the paper figure tag in its banner,
+// git describe, free-form meta such as worker counts) plus one Row per
+// measured configuration, each carrying the cluster, the resolved
+// runtime::Kernel_desc, and named Metric values.  `--json <path>`
+// (bench_util.h `emit()`) serializes it through common::Json as schema
+// "pp-bench-report-v1"; scripts/bench_all.sh collects the files and
+// examples/bench_merge.cpp folds them into one BENCH_summary.json that
+// scripts/bench_compare.py diffs against a committed baseline.
+//
+// Metrics carry two gating attributes (docs/DETERMINISM.md §4):
+//   deterministic  simulator-derived values (cycles, IPC, stall fractions,
+//                  MAC counts, bit-exact EVM/BER) reproduce on any host;
+//                  wall-clock values do not and must be marked false.
+//   better         which direction is an improvement: "lower" (cycles,
+//                  ms), "higher" (IPC, speedup), "exact" (golden values a
+//                  diff should never see move), or "info" (never gated).
+// bench_compare.py gates only deterministic metrics whose direction is
+// not "info".
+#ifndef PUSCHPOOL_BENCH_REPORT_H
+#define PUSCHPOOL_BENCH_REPORT_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pp::bench {
+
+// `git describe --always --dirty` of the working tree, "unknown" when git
+// or the repo is unavailable.  Cached: every row of a report shares it.
+inline std::string git_describe() {
+  static const std::string cached = [] {
+    std::string out = "unknown";
+    if (std::FILE* p =
+            popen("git describe --always --dirty 2>/dev/null", "r")) {
+      char buf[128];
+      if (std::fgets(buf, sizeof buf, p)) {
+        out.assign(buf);
+        while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+          out.pop_back();
+        }
+        if (out.empty()) out = "unknown";
+      }
+      pclose(p);
+    }
+    return out;
+  }();
+  return cached;
+}
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;           // "cycles", "ipc", "fraction", "x", "ms", ...
+  bool deterministic = true;  // false for anything host-timing derived
+  std::string better = "lower";  // "lower" | "higher" | "exact" | "info"
+
+  // Repetition statistics, populated for wall-clock metrics (reps > 0).
+  uint32_t reps = 0;
+  double min = 0.0;
+  double median = 0.0;
+  double stdev = 0.0;
+};
+
+// Wall-clock metric from repeated samples: value = min (the conventional
+// best-of estimate), plus min/median/stdev over the repetitions.  Always
+// host-dependent, never gated by the compare tool.
+inline Metric wall_metric(std::string name, std::vector<double> samples,
+                          std::string unit = "s") {
+  Metric m;
+  m.name = std::move(name);
+  m.unit = std::move(unit);
+  m.deterministic = false;
+  m.better = "info";
+  m.reps = static_cast<uint32_t>(samples.size());
+  if (samples.empty()) return m;
+  std::sort(samples.begin(), samples.end());
+  m.min = samples.front();
+  m.value = m.min;
+  const size_t n = samples.size();
+  m.median = n % 2 ? samples[n / 2]
+                   : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double s : samples) var += (s - mean) * (s - mean);
+  m.stdev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  return m;
+}
+
+struct Row {
+  std::string name;     // configuration label, matches the table row
+  std::string cluster;  // "mempool" | "terapool" | ... ("" = host-only)
+  std::string kernel;   // registry key ("" when not registry-driven)
+  std::string params;   // resolved Params::describe()
+  uint32_t cores = 0;   // gang shape (0 = n/a)
+  uint64_t macs = 0;    // complex MACs of the problem (0 = n/a)
+  std::vector<Metric> metrics;
+
+  Row& metric(std::string name, double value, std::string unit,
+              bool deterministic = true, std::string better = "lower") {
+    metrics.push_back(Metric{std::move(name), value, std::move(unit),
+                             deterministic, std::move(better)});
+    return *this;
+  }
+  Row& metric(Metric m) {
+    metrics.push_back(std::move(m));
+    return *this;
+  }
+};
+
+struct Report {
+  std::string schema = "pp-bench-report-v1";
+  std::string bench;   // binary base name, e.g. "bench_fig8a_fft_ipc"
+  std::string figure;  // normalized banner tag, e.g. "[Fig. 8a]"
+  std::string title;
+  std::string git;     // `git describe --always --dirty`, or "unknown"
+  std::vector<std::pair<std::string, std::string>> meta;  // free-form
+  std::vector<Row> rows;
+
+  Report& add_meta(std::string key, std::string value) {
+    meta.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Row& add_row(std::string name) {
+    rows.push_back({});
+    rows.back().name = std::move(name);
+    return rows.back();
+  }
+
+  common::Json to_json() const {
+    using common::Json;
+    Json j = Json::object();
+    j.set("schema", schema).set("bench", bench).set("figure", figure);
+    j.set("title", title).set("git", git);
+    Json jm = Json::object();
+    for (const auto& [k, v] : meta) jm.set(k, v);
+    j.set("meta", std::move(jm));
+    Json jrows = Json::array();
+    for (const Row& r : rows) {
+      Json jr = Json::object();
+      jr.set("name", r.name);
+      if (!r.cluster.empty()) jr.set("cluster", r.cluster);
+      if (!r.kernel.empty()) jr.set("kernel", r.kernel);
+      if (!r.params.empty()) jr.set("params", r.params);
+      if (r.cores) jr.set("cores", uint64_t{r.cores});
+      if (r.macs) jr.set("macs", r.macs);
+      Json jms = Json::array();
+      for (const Metric& m : r.metrics) {
+        Json jmetric = Json::object();
+        jmetric.set("name", m.name).set("value", m.value).set("unit", m.unit);
+        jmetric.set("deterministic", m.deterministic).set("better", m.better);
+        if (m.reps) {
+          jmetric.set("reps", uint64_t{m.reps});
+          jmetric.set("min", m.min).set("median", m.median);
+          jmetric.set("stdev", m.stdev);
+        }
+        jms.push(std::move(jmetric));
+      }
+      jr.set("metrics", std::move(jms));
+      jrows.push(std::move(jr));
+    }
+    j.set("rows", std::move(jrows));
+    return j;
+  }
+
+  // Writes the report to `path`; returns false (with a stderr message) on
+  // I/O failure so callers can exit non-zero.
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = to_json().dump();
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    // fclose flushes the stdio buffer; a failed flush (ENOSPC) means a
+    // truncated report even though every fwrite "succeeded".
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return ok;
+  }
+};
+
+}  // namespace pp::bench
+
+#endif  // PUSCHPOOL_BENCH_REPORT_H

@@ -1,0 +1,114 @@
+// Merges per-bench JSON reports (the `--json` output of the bench_*
+// binaries, schema "pp-bench-report-v1") into one summary document
+// (schema "pp-bench-summary-v1") that scripts/bench_compare.py diffs
+// against a committed baseline.  scripts/bench_all.sh drives this after
+// running the benches.
+//
+//   ./examples/bench_merge --out BENCH_summary.json BENCH_*.json
+//   ./examples/bench_merge report.json            # summary to stdout
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/cli.h"
+#include "common/json.h"
+
+namespace {
+
+using pp::common::Json;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pp::common::Cli cli(argc, argv);
+  const std::string out_path = cli.get("--out", "");
+
+  // Positional arguments = the input reports.  Only --out is a known
+  // flag; an unknown one must fail loudly rather than silently swallowing
+  // the next argument (which would drop a report from the summary).
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out") {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_merge: unknown flag %s\n", a.c_str());
+      return 2;
+    }
+    inputs.push_back(a);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_merge [--out summary.json] report.json...\n");
+    return 2;
+  }
+
+  Json summary = Json::object();
+  summary.set("schema", "pp-bench-summary-v1");
+  summary.set("git", pp::bench::git_describe());
+  summary.set("n_reports", static_cast<uint64_t>(inputs.size()));
+  Json reports = Json::array();
+  for (const std::string& path : inputs) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "bench_merge: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    Json rep;
+    try {
+      rep = Json::parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_merge: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    if (rep.get_str("schema", "") != "pp-bench-report-v1") {
+      std::fprintf(stderr, "bench_merge: %s is not a pp-bench-report-v1\n",
+                   path.c_str());
+      return 1;
+    }
+    // One binary can contribute several reports to a summary (e.g. the
+    // same bench under different flags), so tag each with its source file
+    // (sans dir/extension) - bench_compare keys on it to keep them apart.
+    std::string source = path;
+    if (const size_t slash = source.find_last_of('/');
+        slash != std::string::npos) {
+      source.erase(0, slash + 1);
+    }
+    if (source.size() > 5 && source.ends_with(".json")) {
+      source.erase(source.size() - 5);
+    }
+    if (source.rfind("BENCH_", 0) == 0) source.erase(0, 6);
+    rep.set("source", source);
+    reports.push(std::move(rep));
+  }
+  summary.set("reports", std::move(reports));
+
+  const std::string text = summary.dump();
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "bench_merge: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("bench_merge: %zu report(s) -> %s\n", inputs.size(),
+              out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite with --json, merges the per-bench reports into
+# one BENCH_summary.json (examples/bench_merge), and optionally diffs the
+# summary against a committed baseline (scripts/bench_compare.py).
+#
+#   scripts/bench_all.sh --quick                  # CI smoke subset (seconds)
+#   scripts/bench_all.sh --full                   # whole figure suite
+#   scripts/bench_all.sh --quick --compare bench/baselines/quick.json
+#
+# Flags:
+#   --quick | --full      subset selection (default --quick)
+#   --build-dir DIR       CMake build tree with the bench binaries (build)
+#   --out-dir DIR         where BENCH_*.json + logs land
+#                         (default <build-dir>/bench-reports)
+#   --compare BASELINE    run bench_compare.py against BASELINE after merging
+#   --threshold T         relative tolerance for the compare step (0.02)
+#
+# Per-bench stdout goes to <out-dir>/<name>.log; the JSON reports are
+# BENCH_<name>.json.  Exits non-zero if any bench fails, the merge fails,
+# or the compare step finds a regression.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=quick
+BUILD_DIR=build
+OUT_DIR=""
+BASELINE=""
+THRESHOLD=0.02
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) MODE=quick; shift ;;
+    --full) MODE=full; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --compare) BASELINE="$2"; shift 2 ;;
+    --threshold) THRESHOLD="$2"; shift 2 ;;
+    *) echo "bench_all.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench-reports}"
+mkdir -p "$OUT_DIR"
+# Stale reports (including a previous BENCH_summary.json, which the merge
+# glob would otherwise pick up) must not leak into this run's summary.
+rm -f "$OUT_DIR"/BENCH_*.json
+
+if [[ ! -x "$BUILD_DIR/examples/bench_merge" ]]; then
+  echo "bench_all.sh: $BUILD_DIR/examples/bench_merge missing - build first" >&2
+  exit 2
+fi
+
+# run <name> <binary> [args...]: one bench -> BENCH_<name>.json + <name>.log
+run() {
+  local name="$1" bin="$2"
+  shift 2
+  echo "bench_all: $name"
+  "$BUILD_DIR/bench/$bin" "$@" --json "$OUT_DIR/BENCH_$name.json" \
+      > "$OUT_DIR/$name.log"
+}
+
+# The quick subset keeps to the benches that finish in a second or two and
+# whose reports are dominated by deterministic (host-independent) metrics -
+# it is the subset the committed baseline bench/baselines/quick.json pins.
+run bench_table1_complexity bench_table1_complexity
+run bench_fig3_stage_share bench_fig3_stage_share
+run bench_fig4_access_latency bench_fig4_access_latency
+run bench_fig8c_cholesky_ipc bench_fig8c_cholesky_ipc
+run bench_ablation_barrier bench_ablation_barrier
+run bench_throughput_sweep bench_throughput_sweep \
+    --slots 1 --snr-points 2 --fft 64,256
+run bench_parallel_scaling bench_parallel_scaling \
+    --workers 1,2 --fft 256 --ffts 8 --rows 256 --batches 128
+
+if [[ "$MODE" == "full" ]]; then
+  run bench_fig5_fft_locality bench_fig5_fft_locality
+  run bench_fig8a_fft_ipc bench_fig8a_fft_ipc
+  run bench_fig8b_mmm_ipc bench_fig8b_mmm_ipc
+  run bench_fig9_speedup bench_fig9_speedup
+  run bench_fig9c_usecase bench_fig9c_usecase
+  run bench_ablation_mmm_window bench_ablation_mmm_window
+  run bench_ablation_cholesky_mirror bench_ablation_cholesky_mirror
+  run bench_ablation_isa bench_ablation_isa
+  # Sweep across the three cluster configs on the sim backend - the
+  # reference backend ignores the cluster, so only the sim backend's
+  # per-point cycle counts actually differ per arch.
+  for arch in mempool minipool terapool; do
+    # minipool (16 cores, small L1) only fits the 64-pt scenario.
+    fft=64,256
+    [[ "$arch" == "minipool" ]] && fft=64
+    run "bench_throughput_sweep_$arch" bench_throughput_sweep \
+        --backend sim --arch "$arch" --fft "$fft" --snr-points 2 --slots 1
+  done
+  # Reference-backend throughput at the default grid (arch-independent).
+  run bench_throughput_sweep_reference bench_throughput_sweep
+  # Intra-slot scaling at the paper-style 1/2/8 worker ladder.
+  run bench_parallel_scaling_1_2_8 bench_parallel_scaling --workers 1,2,8
+  # Host microbenchmarks (optional target: needs google-benchmark).
+  if [[ -x "$BUILD_DIR/bench/bench_wallclock_golden" ]]; then
+    run bench_wallclock_golden bench_wallclock_golden
+  fi
+fi
+
+"$BUILD_DIR/examples/bench_merge" --out "$OUT_DIR/BENCH_summary.json" \
+    "$OUT_DIR"/BENCH_*.json
+echo "bench_all: summary at $OUT_DIR/BENCH_summary.json"
+
+if [[ -n "$BASELINE" ]]; then
+  python3 scripts/bench_compare.py "$BASELINE" "$OUT_DIR/BENCH_summary.json" \
+      --threshold "$THRESHOLD"
+fi

@@ -3,9 +3,11 @@
 # quickstart example (registry + pipeline on both backends) and small
 # scenario sweeps (thread-pool engine + determinism cross-check, including
 # the intra-slot 'parallel' backend), a markdown link check over README +
-# docs/, and a compile check that the deprecated pusch/ shims still emit
-# their #warning.  Suitable as a CI entry point; exits non-zero on any
-# failure.
+# docs/, a compile check that the deprecated pusch/ shims still emit
+# their #warning, and a bench_all --quick pass whose JSON reports are
+# validated and diffed against the committed baseline
+# (bench/baselines/quick.json, deterministic metrics only).  Suitable as a
+# CI entry point; exits non-zero on any failure.
 #
 # CHECK_TSAN=1 additionally builds the concurrency tests (sweep engine,
 # shared lazy tables, parallel backend) under ThreadSanitizer in a separate
@@ -77,6 +79,27 @@ echo "--- smoke: 2-worker scenario sweep (small grid, all three backends) ---"
 "$BUILD_DIR"/bench/bench_throughput_sweep --slots 1 --snr-points 2
 "$BUILD_DIR"/bench/bench_parallel_scaling --workers 1,2 --fft 256 --ffts 8 \
     --rows 256 --batches 128
+
+echo "--- bench_all --quick: machine-readable reports + baseline diff ---"
+# Every bench's --json output and the merged summary must parse as real
+# JSON, and the deterministic metrics must match the committed baseline
+# (bench_compare.py only gates deterministic metrics, so this is
+# host-independent; regenerate the baseline when a PR intentionally moves
+# cycle counts - docs/BENCHMARKS.md).
+scripts/bench_all.sh --quick --build-dir "$BUILD_DIR"
+if command -v python3 >/dev/null 2>&1; then
+  for f in "$BUILD_DIR"/bench-reports/BENCH_*.json; do
+    python3 -m json.tool "$f" > /dev/null || {
+      echo "invalid JSON report: $f"
+      exit 1
+    }
+  done
+  echo "all emitted reports parse as JSON"
+  python3 scripts/bench_compare.py bench/baselines/quick.json \
+      "$BUILD_DIR/bench-reports/BENCH_summary.json"
+else
+  echo "python3 not found - skipped JSON validation + baseline diff"
+fi
 
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   echo "--- opt-in: ThreadSanitizer build of the concurrency tests ---"

@@ -1,0 +1,408 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace pp::common {
+
+// ---- building --------------------------------------------------------------
+
+Json& Json::set(std::string key, Json value) {
+  PP_CHECK(type_ == Type::object, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  PP_CHECK(type_ == Type::array, "Json::push on a non-array");
+  elems_.push_back(std::move(value));
+  return *this;
+}
+
+// ---- inspection -------------------------------------------------------------
+
+bool Json::boolean() const {
+  PP_CHECK(type_ == Type::boolean, "Json::boolean on a non-boolean");
+  return bool_;
+}
+
+double Json::num() const {
+  PP_CHECK(type_ == Type::number, "Json::num on a non-number");
+  return num_;
+}
+
+int64_t Json::num_int() const {
+  PP_CHECK(type_ == Type::number, "Json::num_int on a non-number");
+  return is_int_ ? int_ : static_cast<int64_t>(num_);
+}
+
+const std::string& Json::str() const {
+  PP_CHECK(type_ == Type::string, "Json::str on a non-string");
+  return str_;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::array) return elems_.size();
+  if (type_ == Type::object) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  PP_CHECK(type_ == Type::array && i < elems_.size(),
+           "Json::at out of range or non-array");
+  return elems_[i];
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  PP_CHECK(type_ == Type::object, "Json::members on a non-object");
+  return members_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::get_str(const std::string& key, std::string fallback) const {
+  const Json* v = find(key);
+  return v && v->type_ == Type::string ? v->str_ : std::move(fallback);
+}
+
+double Json::get_num(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v && v->type_ == Type::number ? v->num_ : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json* v = find(key);
+  return v && v->type_ == Type::boolean ? v->bool_ : fallback;
+}
+
+// ---- serialization ----------------------------------------------------------
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // includes UTF-8 continuation bytes, passed through
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number_text(bool is_int, int64_t i, double d) {
+  char buf[40];
+  if (is_int) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(i));
+  } else if (std::isfinite(d)) {
+    // %.17g round-trips every double; trim to %.15g when that is exact so
+    // common values stay readable (0.1, not 0.10000000000000001).
+    std::snprintf(buf, sizeof buf, "%.15g", d);
+    if (std::strtod(buf, nullptr) != d) {
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+    }
+  } else {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    return "null";
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::null: out += "null"; break;
+    case Type::boolean: out += bool_ ? "true" : "false"; break;
+    case Type::number: out += number_text(is_int_, int_, num_); break;
+    case Type::string:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::array: {
+      if (elems_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        out += pad;
+        elems_[i].write(out, indent, depth + 1);
+        if (i + 1 < elems_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(members_[i].first);
+        out += indent > 0 ? "\": " : "\":";
+        members_[i].second.write(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json document() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return Json();
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          fail("unescaped control character in string");
+        }
+        out += c;
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; lone surrogates encode as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    bool is_int = true;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      is_int = false;
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_int = false;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+    char* end = nullptr;
+    if (is_int) {
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end != tok.c_str() + tok.size()) fail("bad number");
+      return Json(static_cast<int64_t>(v));
+    }
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("bad number");
+    return Json(v);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).document(); }
+
+}  // namespace pp::common

@@ -1,0 +1,110 @@
+// Minimal dependency-free JSON value: writer + parser.
+//
+// The benchmark report layer (bench/report.h) serializes through this type
+// and the bench_merge aggregator parses the emitted files back, so both
+// directions live here and round-trip exactly:
+//
+//   auto j = Json::object();
+//   j.set("name", "fft.parallel").set("cycles", uint64_t{8192});
+//   j.set("stalls", Json::array().push(0.12).push(0.03));
+//   std::string text = j.dump();          // pretty, 2-space indent
+//   Json back = Json::parse(text);        // throws std::runtime_error
+//
+// Integers print without a decimal point and doubles with enough digits
+// ("%.15g"/"%.17g") to round-trip bit-exactly - a report diff must never
+// be caused by the serializer.  One deliberate collapse: an
+// integral-valued double (1.0) serializes as "1" and re-parses as an
+// integer, so is_int() identity survives a round-trip only for
+// non-integral doubles; the numeric value always survives.  Strings are
+// escaped per RFC 8259 (quote, backslash, control characters); non-ASCII
+// bytes pass through as UTF-8.  Object keys keep insertion order.
+#ifndef PUSCHPOOL_COMMON_JSON_H
+#define PUSCHPOOL_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp::common {
+
+class Json {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  // ---- construction -------------------------------------------------------
+  Json() = default;  // null
+  Json(bool v) : type_(Type::boolean), bool_(v) {}
+  Json(double v) : type_(Type::number), num_(v) {}
+  Json(int v) : Json(static_cast<int64_t>(v)) {}
+  Json(int64_t v) : type_(Type::number), num_(static_cast<double>(v)),
+                    int_(v), is_int_(true) {}
+  // Values beyond int64 range (never produced by the report layer) fall
+  // back to double rather than wrapping negative.
+  Json(uint64_t v)
+      : type_(Type::number), num_(static_cast<double>(v)) {
+    if (v <= static_cast<uint64_t>(INT64_MAX)) {
+      int_ = static_cast<int64_t>(v);
+      is_int_ = true;
+    }
+  }
+  Json(std::string v) : type_(Type::string), str_(std::move(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+
+  static Json object() { Json j; j.type_ = Type::object; return j; }
+  static Json array() { Json j; j.type_ = Type::array; return j; }
+
+  // ---- building -----------------------------------------------------------
+  // Object member (appends; replaces an existing key in place).
+  Json& set(std::string key, Json value);
+  // Array element.
+  Json& push(Json value);
+
+  // ---- inspection ---------------------------------------------------------
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_int() const { return type_ == Type::number && is_int_; }
+
+  bool boolean() const;        // aborts on type mismatch (programming error)
+  double num() const;
+  int64_t num_int() const;
+  const std::string& str() const;
+
+  // Array elements / object members; size() is 0 for scalars.
+  size_t size() const;
+  const Json& at(size_t i) const;                     // array index
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  // Object lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  // Object lookup with fallback for scalar reads.
+  std::string get_str(const std::string& key, std::string fallback) const;
+  double get_num(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  // ---- serialization ------------------------------------------------------
+  // Pretty-printed with `indent` spaces per level; indent 0 = compact.
+  std::string dump(int indent = 2) const;
+  // RFC 8259 string escaping (without the surrounding quotes).
+  static std::string escape(const std::string& s);
+
+  // ---- parsing ------------------------------------------------------------
+  // Parses exactly one JSON document (trailing whitespace allowed, trailing
+  // garbage is an error).  Throws std::runtime_error with byte offset.
+  static Json parse(const std::string& text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> elems_;                             // array
+  std::vector<std::pair<std::string, Json>> members_;   // object
+};
+
+}  // namespace pp::common
+
+#endif  // PUSCHPOOL_COMMON_JSON_H

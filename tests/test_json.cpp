@@ -1,0 +1,155 @@
+// common::Json: escaping-correct writer + minimal parser, round-trip.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace pp::common {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json().dump(0), "null");
+  EXPECT_EQ(Json(true).dump(0), "true");
+  EXPECT_EQ(Json(false).dump(0), "false");
+  EXPECT_EQ(Json(int64_t{42}).dump(0), "42");
+  EXPECT_EQ(Json(int64_t{-7}).dump(0), "-7");
+  EXPECT_EQ(Json(uint64_t{1234567890123ull}).dump(0), "1234567890123");
+  // Beyond int64 range degrades to double instead of wrapping negative.
+  EXPECT_FALSE(Json(uint64_t{18446744073709551615ull}).is_int());
+  EXPECT_EQ(Json(1.5).dump(0), "1.5");
+  EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, IntegerIdentityPreserved) {
+  // Integers never grow a decimal point, doubles never lose precision.
+  EXPECT_EQ(Json(int64_t{1}).dump(0), "1");
+  EXPECT_EQ(Json(1.0).dump(0), "1");
+  const double v = 0.30000000000000004;  // 0.1 + 0.2
+  const Json parsed = Json::parse(Json(v).dump(0));
+  EXPECT_FALSE(parsed.is_int());
+  EXPECT_EQ(parsed.num(), v);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Json::escape("line\nfeed\ttab\rret"),
+            "line\\nfeed\\ttab\\rret");
+  EXPECT_EQ(Json::escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  EXPECT_EQ(Json::escape("\b\f"), "\\b\\f");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(Json::escape("\xc2\xa7IV"), "\xc2\xa7IV");
+  EXPECT_EQ(Json("a\"b\n").dump(0), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, NestedDump) {
+  Json j = Json::object();
+  j.set("name", "fft.parallel");
+  j.set("cycles", uint64_t{8192});
+  j.set("stalls", Json::array().push(0.5).push(0.25));
+  j.set("inner", Json::object().set("ok", true));
+  EXPECT_EQ(j.dump(0),
+            "{\"name\":\"fft.parallel\",\"cycles\":8192,"
+            "\"stalls\":[0.5,0.25],\"inner\":{\"ok\":true}}");
+  EXPECT_EQ(j.dump(2),
+            "{\n"
+            "  \"name\": \"fft.parallel\",\n"
+            "  \"cycles\": 8192,\n"
+            "  \"stalls\": [\n    0.5,\n    0.25\n  ],\n"
+            "  \"inner\": {\n    \"ok\": true\n  }\n"
+            "}\n");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(0), "{}");
+  EXPECT_EQ(Json::array().dump(0), "[]");
+  EXPECT_EQ(Json::object().set("a", Json::array()).dump(2),
+            "{\n  \"a\": []\n}\n");
+}
+
+TEST(Json, SetReplacesExistingKey) {
+  Json j = Json::object();
+  j.set("k", 1).set("k", 2);
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.find("k")->num_int(), 2);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse(" true ").boolean());
+  EXPECT_FALSE(Json::parse("false").boolean());
+  EXPECT_EQ(Json::parse("123").num_int(), 123);
+  EXPECT_TRUE(Json::parse("123").is_int());
+  EXPECT_EQ(Json::parse("-40").num_int(), -40);
+  EXPECT_DOUBLE_EQ(Json::parse("1.25e2").num(), 125.0);
+  EXPECT_FALSE(Json::parse("1.0").is_int());
+  EXPECT_EQ(Json::parse("\"a b\"").str(), "a b");
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n")").str(), "a\"b\\c/d\n");
+  EXPECT_EQ(Json::parse(R"("\u0041\u00a7\u20ac")").str(),
+            "A\xc2\xa7\xe2\x82\xac");  // ASCII, 2-byte, 3-byte UTF-8
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(
+      R"({"rows": [{"name": "fft", "metrics": [1, 2.5, true]}], "n": 1})");
+  ASSERT_NE(j.find("rows"), nullptr);
+  const Json& row = j.find("rows")->at(0);
+  EXPECT_EQ(row.get_str("name", ""), "fft");
+  EXPECT_EQ(row.find("metrics")->size(), 3u);
+  EXPECT_EQ(row.find("metrics")->at(0).num_int(), 1);
+  EXPECT_DOUBLE_EQ(row.find("metrics")->at(1).num(), 2.5);
+  EXPECT_TRUE(row.find("metrics")->at(2).boolean());
+  EXPECT_EQ(j.get_num("n", 0), 1.0);
+}
+
+TEST(Json, RoundTrip) {
+  Json j = Json::object();
+  j.set("title", "Fig. 8a \"IPC\"\n[§IV]");
+  j.set("int", int64_t{-123456789});
+  j.set("float", 0.1);
+  j.set("nested",
+        Json::array().push(Json::object().set("deep", Json::array().push(
+                                                          Json()))));
+  const std::string once = j.dump();
+  const std::string twice = Json::parse(once).dump();
+  EXPECT_EQ(once, twice);
+  // Compact and pretty forms parse to the same document.
+  EXPECT_EQ(Json::parse(j.dump(0)).dump(), once);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);     // trailing token
+  EXPECT_THROW(Json::parse("\"abc"), std::runtime_error);   // unterminated
+  EXPECT_THROW(Json::parse("\"\\x\""), std::runtime_error); // bad escape
+  EXPECT_THROW(Json::parse("\"\\u12g4\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nulll"), std::runtime_error);
+}
+
+TEST(Json, ParseReportsByteOffset) {
+  try {
+    Json::parse("[1, oops]");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(0), "null");
+}
+
+}  // namespace
+}  // namespace pp::common
