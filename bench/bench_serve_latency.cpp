@@ -1,0 +1,140 @@
+// Streaming slot latency vs. the numerology budget: the paper's §II
+// slot-budget argument, measured under sustained traffic instead of a batch
+// grid.
+//
+// A fixed-seed two-cell Traffic_source (Poisson arrivals, mixed UE/QAM) is
+// served by the streaming scheduler on the simulated cluster; every slot's
+// latency runs on the deterministic virtual clock (simulated cycles at
+// --clock-ghz, one virtual cluster draining the queue) and is scored
+// against its cell's 1 ms / 2^mu slot budget.  The run repeats with a
+// different host worker count and with stage pipelining requested, and the
+// aggregate reports (per-cell EVM/BER, latency histograms, miss counts) are
+// verified identical - the scheduler's determinism contract.
+//
+//   ./bench/bench_serve_latency [--slots 24] [--backend sim]
+//       [--arch minipool] [--clock-ghz 0.02] [--load 0.9] [--seed 1]
+//
+// The default scaled-down clock (0.02 GHz) puts the toy 64-point slot at
+// roughly half its mu=1 budget, the same service-to-budget ratio the paper
+// reports for the full 4096-point slot on a 1 GHz cluster (§VI: ~0.4 ms of
+// 0.5 ms), so queueing - not raw service time - decides the misses.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "runtime/traffic.h"
+
+namespace {
+
+using namespace pp;
+
+// Positive-range check on top of Cli's validated double parsing, same
+// readable error + exit-2 convention.
+double get_positive_double(const common::Cli& cli, const char* flag,
+                           double fallback) {
+  const double v = cli.get_double(flag, fallback);
+  if (!(v > 0.0)) {
+    std::fprintf(stderr, "value must be positive for %s\n", flag);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli(argc, argv);
+  bench::banner("[§II]", "streaming slot latency vs. the numerology budget",
+                "Sustained two-cell Poisson traffic served by the streaming "
+                "scheduler; per-slot\nlatency on the deterministic virtual "
+                "clock against the 1 ms / 2^mu slot budget.\nAggregates are "
+                "re-checked bit-identical across worker counts and stage "
+                "pipelining.");
+  auto rep = bench::make_report("bench_serve_latency", "[§II]",
+                                "streaming slot latency vs. slot budget");
+
+  runtime::Traffic_config traffic;
+  traffic.n_slots = cli.get_u32("--slots", 24);
+  traffic.base_seed = cli.get_u32("--seed", 1);
+  const double load = get_positive_double(cli, "--load", 0.9);
+  runtime::Traffic_cell cell0;  // mu=1: 500 us budget
+  cell0.mu = 1;
+  cell0.fft_size = 64;
+  cell0.n_ue = 2;
+  cell0.qam = phy::Qam::qam16;
+  cell0.load = load;
+  runtime::Traffic_cell cell1;  // mu=0, denser constellation: 1 ms budget
+  cell1.mu = 0;
+  cell1.fft_size = 64;
+  cell1.n_ue = 2;
+  cell1.qam = phy::Qam::qam64;
+  cell1.load = load;
+  traffic.cells = {cell0, cell1};
+  const runtime::Traffic_source source(traffic);
+
+  runtime::Scheduler_options opt;
+  opt.backend = bench::backend_from_cli(cli, "sim");
+  opt.cluster = bench::cluster_from_cli(cli, "minipool");
+  opt.keep_slots = false;
+  opt.service_units = cli.get_u32("--servers", 1);
+  opt.clock_ghz = get_positive_double(cli, "--clock-ghz", 0.02);
+
+  opt.workers = 1;
+  opt.pipelined = false;
+  const auto serial = runtime::Slot_scheduler(opt).run(source);
+  opt.workers = 2;
+  opt.pipelined = true;  // silently off on the sim backend, on for hosts
+  const auto overlapped = runtime::Slot_scheduler(opt).run(source);
+
+  std::fputs(serial.str().c_str(), stdout);
+  std::printf("\nserial    : %6.1f slots/s (%.3f s wall)\n",
+              serial.slots_per_second(), serial.wall_seconds);
+  std::printf("%u workers%s: %6.1f slots/s (%.3f s wall)\n",
+              overlapped.workers, overlapped.pipelined ? " +pipe" : "      ",
+              overlapped.slots_per_second(), overlapped.wall_seconds);
+  const bool ok = serial.deterministic_equal(overlapped);
+  std::printf("aggregates bit-identical across workers/pipelining: %s\n",
+              ok ? "yes" : "NO");
+
+  rep.add_meta("backend", opt.backend);
+  rep.add_meta("cluster", opt.cluster.name);
+  rep.add_meta("servers", std::to_string(opt.service_units));
+  for (const auto& g : serial.groups) {
+    auto& row = rep.add_row(g.label);
+    row.cluster = opt.cluster.name;
+    row.metric("slots", static_cast<double>(g.slots), "count", true, "exact");
+    row.metric("evm", g.evm, "rms", true, "exact");
+    row.metric("ber", g.ber, "rate", true, "exact");
+    row.metric("deadline_misses", static_cast<double>(g.deadline_misses),
+               "count", true, "exact");
+    row.metric("latency_p99", 1e6 * g.latency.percentile(0.99), "us", true,
+               "exact");
+    if (g.cycles) {
+      row.metric("cycles", static_cast<double>(g.cycles), "cycles");
+    }
+  }
+  auto& totals = rep.add_row("totals");
+  totals.metric("total_slots", static_cast<double>(serial.total_slots),
+                "count", true, "exact");
+  totals.metric("deadline_slots", static_cast<double>(serial.deadline_slots),
+                "count", true, "exact");
+  totals.metric("deadline_misses",
+                static_cast<double>(serial.deadline_misses), "count", true,
+                "exact");
+  totals.metric("latency_p50", 1e6 * serial.latency.percentile(0.50), "us",
+                true, "exact");
+  totals.metric("latency_p99", 1e6 * serial.latency.percentile(0.99), "us",
+                true, "exact");
+  totals.metric("latency_p999", 1e6 * serial.latency.percentile(0.999), "us",
+                true, "exact");
+  // The whole virtual-clock surface is bit-deterministic (DETERMINISM.md
+  // §5), so the makespan gates "exact" like its sibling latency metrics.
+  totals.metric("virtual_makespan_ms", 1e3 * serial.virtual_makespan_s, "ms",
+                true, "exact");
+  totals.metric("worker_invariant", ok ? 1.0 : 0.0, "bool", true, "higher");
+  totals.metric("serial_slots_per_s", serial.slots_per_second(), "slots/s",
+                false, "info");
+  totals.metric("parallel_slots_per_s", overlapped.slots_per_second(),
+                "slots/s", false, "info");
+  return bench::emit(rep, cli) | (ok ? 0 : 1);
+}

@@ -8,6 +8,7 @@
 #define PUSCHPOOL_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "common/complex16.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "runtime/backend.h"
+#include "runtime/presets.h"
 #include "runtime/registry.h"
 #include "sim/stats.h"
 
@@ -72,15 +75,76 @@ inline sim::Kernel_report run_kernel(const arch::Cluster_config& cfg,
 
 // ---- CLI helpers ----------------------------------------------------------
 
+// The registered cluster configurations, in listing order.
+inline std::vector<std::string> cluster_names() {
+  return {"mempool", "minipool", "terapool"};
+}
+
+// Strict lookup: an unknown name prints the registered clusters and exits 2
+// (point the user at --list) instead of silently falling back to mempool.
 inline arch::Cluster_config cluster_by_name(const std::string& name) {
+  if (name == "mempool") return arch::Cluster_config::mempool();
   if (name == "terapool") return arch::Cluster_config::terapool();
   if (name == "minipool") return arch::Cluster_config::minipool();
-  return arch::Cluster_config::mempool();
+  std::fprintf(stderr, "unknown cluster '%s' for --arch; registered:",
+               name.c_str());
+  for (const auto& n : cluster_names()) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 inline arch::Cluster_config cluster_from_cli(const common::Cli& cli,
                                              const char* fallback = "mempool") {
   return cluster_by_name(cli.get("--arch", fallback));
+}
+
+// Backend name validated against runtime::backend_names(); unknown names
+// print the registered list and exit 2 instead of aborting deep in
+// make_backend().
+inline std::string backend_from_cli(const common::Cli& cli,
+                                    const char* fallback = "reference") {
+  const std::string name = cli.get("--backend", fallback);
+  for (const auto& b : runtime::backend_names()) {
+    if (name == b) return name;
+  }
+  std::fprintf(stderr, "unknown backend '%s' for --backend; registered:",
+               name.c_str());
+  for (const auto& b : runtime::backend_names()) {
+    std::fprintf(stderr, " %s", b.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+// `--list` support: everything reachable by name through the runtime
+// registry and the CLI helpers - clusters, execution backends, pipeline
+// presets, and the registered kernel configurations.
+inline void print_catalog() {
+  std::printf("clusters (--arch):\n");
+  for (const auto& name : cluster_names()) {
+    const auto c = cluster_by_name(name);
+    std::printf("  %-10s %4u cores (%u groups x %u tiles x %u cores), "
+                "%llu KiB L1\n",
+                c.name.c_str(), c.n_cores(), c.n_groups, c.tiles_per_group,
+                c.cores_per_tile,
+                static_cast<unsigned long long>(c.l1_words() * 4 / 1024));
+  }
+  std::printf("\nbackends (--backend):\n");
+  for (const auto& name : runtime::backend_names()) {
+    const auto b = runtime::make_backend(name, 1);
+    std::printf("  %-10s %s%s\n", name.c_str(),
+                b->cycle_accurate() ? "cycle-accurate simulated cluster"
+                                    : "double-precision host models",
+                b->can_split() ? ", stage-splittable" : "");
+  }
+  std::printf("\npipeline presets:\n");
+  for (const auto& [name, summary] : runtime::preset_names()) {
+    std::printf("  %-10s %s\n", name.c_str(), summary.c_str());
+  }
+  std::printf("\nregistry kernels:\n");
+  for (const auto& [name, summary] : runtime::Registry::instance().list()) {
+    std::printf("  %-15s %s\n", name.c_str(), summary.c_str());
+  }
 }
 
 // ---- reporting ------------------------------------------------------------

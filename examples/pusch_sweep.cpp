@@ -13,7 +13,9 @@
 // slot-level --workers).  List flags take comma-separated values; --snr
 // also accepts lo:hi:step.  Per-slot seeds are Rng::derive_seed(--seed,
 // slot_index), so results are bit-identical for any --workers and --intra
-// counts (docs/DETERMINISM.md).
+// counts (docs/DETERMINISM.md).  --list prints the registered clusters,
+// backends, pipeline presets and registry kernels instead of running;
+// unknown --arch/--backend names error with the same lists.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -92,6 +94,10 @@ std::vector<phy::Qam> parse_qam_list(const std::vector<uint32_t>& orders,
 
 int main(int argc, char** argv) {
   common::Cli cli(argc, argv);
+  if (cli.has("--list")) {
+    bench::print_catalog();
+    return 0;
+  }
 
   runtime::Sweep_grid grid;
   grid.fft_sizes = cli.get_u32_list("--fft", "64,256");
@@ -106,7 +112,7 @@ int main(int argc, char** argv) {
   grid.base_seed = cli.get_u32("--seed", 1);
 
   runtime::Sweep_options opt;
-  opt.backend = cli.get("--backend", "reference");
+  opt.backend = bench::backend_from_cli(cli);
   opt.workers = cli.get_u32("--workers", 0);
   opt.intra = cli.get_u32("--intra", 1);
   opt.cluster = bench::cluster_from_cli(cli, "minipool");

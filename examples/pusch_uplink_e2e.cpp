@@ -17,7 +17,11 @@
 //
 //   ./examples/pusch_uplink_e2e [--arch mempool|terapool] [--ue N]
 //       [--qam 16] [--backend sim|reference|parallel|both|all]
-//       [--intra N] [--chol-batch N]
+//       [--intra N] [--chol-batch N] [--list]
+//
+// --list prints the registered clusters, backends, pipeline presets and
+// registry kernels instead of running; unknown --arch/--backend names
+// error with the same lists.
 //
 // The scenario is a scaled-down slot (256-pt grid, 16 antennas, 8 beams) so
 // the example runs in seconds; bench_fig9c_usecase covers the full-size
@@ -32,6 +36,10 @@
 int main(int argc, char** argv) {
   using namespace pp;
   common::Cli cli(argc, argv);
+  if (cli.has("--list")) {
+    bench::print_catalog();
+    return 0;
+  }
 
   const auto cluster = bench::cluster_from_cli(cli);
 
@@ -68,7 +76,8 @@ int main(int argc, char** argv) {
   if (which != "sim" && which != "reference" && which != "parallel" &&
       which != "both" && which != "all") {
     std::fprintf(stderr,
-                 "unknown --backend %s (sim|reference|parallel|both|all)\n",
+                 "unknown --backend %s (sim|reference|parallel|both|all; "
+                 "see --list)\n",
                  which.c_str());
     return 2;
   }

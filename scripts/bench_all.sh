@@ -70,6 +70,10 @@ run bench_throughput_sweep bench_throughput_sweep \
     --slots 1 --snr-points 2 --fft 64,256
 run bench_parallel_scaling bench_parallel_scaling \
     --workers 1,2 --fft 256 --ffts 8 --rows 256 --batches 128
+# Streaming deadline latency at a fixed simulated load: slot counts, miss
+# counts and virtual-clock percentiles are deterministic and gate the
+# baseline.
+run bench_serve_latency bench_serve_latency --slots 24
 
 if [[ "$MODE" == "full" ]]; then
   run bench_fig5_fft_locality bench_fig5_fft_locality
@@ -94,6 +98,10 @@ if [[ "$MODE" == "full" ]]; then
   run bench_throughput_sweep_reference bench_throughput_sweep
   # Intra-slot scaling at the paper-style 1/2/8 worker ladder.
   run bench_parallel_scaling_1_2_8 bench_parallel_scaling --workers 1,2,8
+  # Streaming latency on the host models (analytic MAC service model) with
+  # a longer traffic trace.
+  run bench_serve_latency_reference bench_serve_latency \
+      --backend reference --slots 96
   # Host microbenchmarks (optional target: needs google-benchmark).
   if [[ -x "$BUILD_DIR/bench/bench_wallclock_golden" ]]; then
     run bench_wallclock_golden bench_wallclock_golden

@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + ctest, then smoke runs of the
-# quickstart example (registry + pipeline on both backends) and small
-# scenario sweeps (thread-pool engine + determinism cross-check, including
-# the intra-slot 'parallel' backend), a markdown link check over README +
-# docs/, a compile check that the deprecated pusch/ shims still emit
-# their #warning, and a bench_all --quick pass whose JSON reports are
+# quickstart example (registry + pipeline on both backends), small scenario
+# sweeps (slot scheduler + determinism cross-check, including the
+# intra-slot 'parallel' backend), the streaming traffic engine
+# (pusch_serve, stage-pipelined and --list), a markdown link check over
+# README + docs/, and a bench_all --quick pass whose JSON reports are
 # validated and diffed against the committed baseline
 # (bench/baselines/quick.json, deterministic metrics only).  Suitable as a
 # CI entry point; exits non-zero on any failure.
 #
-# CHECK_TSAN=1 additionally builds the concurrency tests (sweep engine,
-# shared lazy tables, parallel backend) under ThreadSanitizer in a separate
-# build tree and runs them.
+# CHECK_TSAN=1 additionally builds the concurrency tests (slot scheduler,
+# sweep engine, traffic source, shared lazy tables, parallel backend) under
+# ThreadSanitizer in a separate build tree and runs them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,26 +48,6 @@ if [[ "$link_errors" -gt 0 ]]; then
 fi
 echo "all markdown links resolve"
 
-echo "--- compile check: deprecated shims must still emit #warning ---"
-# Each shim must (a) still compile and (b) still print its deprecation
-# #warning - asserted on the actual diagnostic text, so an unrelated
-# compile failure cannot pass vacuously (test_deprecated_shims.cpp covers
-# the aliasing direction inside the test suite).
-CXX_CHECK="${CXX:-c++}"
-for shim in pusch/chain_sim.h pusch/sim_chain.h; do
-  if ! out=$(echo "#include \"$shim\"" | \
-             "$CXX_CHECK" -std=c++20 -x c++ -fsyntax-only -Isrc - 2>&1); then
-    echo "compiling $shim failed:"
-    echo "$out"
-    exit 1
-  fi
-  if ! grep -q "deprecated" <<<"$out"; then
-    echo "$shim no longer emits its deprecation #warning"
-    exit 1
-  fi
-done
-echo "both shims still compile and warn"
-
 echo "--- smoke: examples/quickstart ---"
 "$BUILD_DIR"/examples/quickstart
 
@@ -79,6 +59,15 @@ echo "--- smoke: 2-worker scenario sweep (small grid, all three backends) ---"
 "$BUILD_DIR"/bench/bench_throughput_sweep --slots 1 --snr-points 2
 "$BUILD_DIR"/bench/bench_parallel_scaling --workers 1,2 --fft 256 --ffts 8 \
     --rows 256 --batches 128
+
+echo "--- smoke: streaming traffic engine (pusch_serve + --list) ---"
+# Stage-pipelined streaming on the host models, the sim backend's
+# deterministic deadline accounting, and the registry catalog listing.
+"$BUILD_DIR"/examples/pusch_serve --slots 16 --workers 2 --pipelined
+"$BUILD_DIR"/examples/pusch_serve --backend sim --slots 6 --clock-ghz 0.02
+"$BUILD_DIR"/examples/pusch_serve --list > /dev/null
+"$BUILD_DIR"/examples/pusch_sweep --list > /dev/null
+"$BUILD_DIR"/examples/pusch_uplink_e2e --list > /dev/null
 
 echo "--- bench_all --quick: machine-readable reports + baseline diff ---"
 # Every bench's --json output and the merged summary must parse as real
@@ -108,9 +97,11 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_sweep test_thread_safety test_rng test_backend_parallel
+    --target test_sweep test_thread_safety test_rng test_backend_parallel \
+             test_scheduler test_traffic
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
-    -j "$JOBS" -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend'
+    -j "$JOBS" \
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|Scheduler|Traffic'
 fi
 
 echo "check.sh: all green"

@@ -41,6 +41,34 @@ class Cli {
     return fallback;
   }
 
+  // Value of "--name" as a validated double; malformed values print a
+  // readable error and exit 2.  Range checks stay at the call site.
+  double get_double(const std::string& name, double fallback) const {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return parse_double_or_die(name, args_[i + 1]);
+    }
+    return fallback;
+  }
+
+  // Value of "--name" as a comma-separated list of doubles ("0.5,1,2");
+  // same error behavior as get_double().
+  std::vector<double> get_double_list(const std::string& name,
+                                      const std::string& fallback) const {
+    const std::string s = get(name, fallback);
+    std::vector<double> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+      const size_t end = s.find(',', start);
+      const std::string tok = end == std::string::npos
+                                  ? s.substr(start)
+                                  : s.substr(start, end - start);
+      out.push_back(parse_double_or_die(name, tok));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return out;
+  }
+
   // Value of "--name" as a comma-separated list of non-negative 32-bit
   // integers ("64,256,1024"); same error behavior as get_u32().
   std::vector<uint32_t> get_u32_list(const std::string& name,
@@ -81,6 +109,18 @@ class Cli {
   }
 
  private:
+  static double parse_double_or_die(const std::string& name,
+                                    const std::string& tok) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", tok.c_str(),
+                   name.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+
   static uint32_t parse_u32_or_die(const std::string& name,
                                    const std::string& tok) {
     char* end = nullptr;

@@ -44,6 +44,16 @@ struct Array_config {
 inline Numerology use_case_numerology() { return Numerology{}; }
 inline Array_config use_case_array() { return Array_config{}; }
 
+// Slot duration of 5G NR numerology mu (sub-carrier spacing 15 kHz * 2^mu):
+// 1 ms / 2^mu.  This is the per-slot processing budget the paper's §II
+// argument is about - a PUSCH slot missing it stalls the uplink - and the
+// deadline the streaming scheduler (runtime/traffic.h) scores slots
+// against.
+inline double slot_budget_seconds(uint32_t mu) {
+  PP_CHECK(mu <= 6, "5G NR defines numerologies mu = 0..6");
+  return 1e-3 / static_cast<double>(1u << mu);
+}
+
 }  // namespace pp::phy
 
 #endif  // PUSCHPOOL_PHY_NUMEROLOGY_H

@@ -208,10 +208,9 @@ double payload_ber(const Uplink_scenario& sc,
   return static_cast<double>(nerr) / static_cast<double>(nbits);
 }
 
-Receiver_result golden_receive(const Uplink_scenario& sc) {
+std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc) {
   const auto& cfg = sc.config();
   const double fft_comp = std::sqrt(static_cast<double>(cfg.fft_size));
-  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
 
   // 1) OFDM demodulation + 2) beamforming, per symbol: beam grid [sc][b].
   std::vector<std::vector<cd>> beams(cfg.n_symb);
@@ -229,6 +228,13 @@ Receiver_result golden_receive(const Uplink_scenario& sc) {
     ref::matmul_rows(ft, sc.codebook(), beams[s], cfg.n_sc, cfg.n_rx,
                      cfg.n_beams, 0, cfg.n_sc);
   }
+  return beams;
+}
+
+Receiver_result golden_back(const Uplink_scenario& sc,
+                            const std::vector<std::vector<cd>>& beams) {
+  const auto& cfg = sc.config();
+  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
 
   // 3) Channel estimation (block LS on code-separated pilot observations).
   std::vector<std::vector<cd>> obs(cfg.n_ue);
@@ -268,6 +274,10 @@ Receiver_result golden_receive(const Uplink_scenario& sc) {
   res.channel_mse = channel_mse;
   res.sigma2_hat = sigma2_hat;
   return res;
+}
+
+Receiver_result golden_receive(const Uplink_scenario& sc) {
+  return golden_back(sc, golden_front(sc));
 }
 
 double evm_rms(const std::vector<cd>& want, const std::vector<cd>& got) {

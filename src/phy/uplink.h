@@ -90,6 +90,20 @@ struct Receiver_result {
 // Full double-precision lower-PHY receive chain.
 Receiver_result golden_receive(const Uplink_scenario& sc);
 
+// The receive chain split at the beam-grid boundary, for stage-pipelined
+// execution (runtime/scheduler.h overlaps the front half of slot n+1 with
+// the back half of slot n).  golden_receive() is literally
+// golden_back(sc, golden_front(sc)), so the split is bit-identical to the
+// fused chain by construction.
+//
+// Front half: per-symbol OFDM FFT + beamforming -> beam grids
+// [symbol][sc * beam].
+std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc);
+// Back half: CHE, NE, LMMSE MIMO and demodulation on precomputed beam
+// grids.
+Receiver_result golden_back(const Uplink_scenario& sc,
+                            const std::vector<std::vector<cd>>& beams);
+
 // ---- golden-receiver tiled sub-steps --------------------------------------
 //
 // golden_receive() is built from these range-parameterized pieces: the

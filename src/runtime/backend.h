@@ -27,6 +27,13 @@
 
 namespace pp::runtime {
 
+// Hand-off state between the two halves of a stage-split slot: the
+// beam-domain grids [symbol][sc * beam] after OFDM FFT + beamforming.
+// Produced by Backend::run_front(), consumed by Backend::run_back().
+struct Slot_front {
+  std::vector<std::vector<phy::cd>> beams;
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -34,6 +41,20 @@ class Backend {
   virtual bool cycle_accurate() const = 0;
   virtual Slot_result run_slot(const Pipeline& p,
                                const phy::Uplink_scenario& sc) = 0;
+
+  // Stage-split execution, used by runtime::Slot_scheduler to overlap the
+  // front half (FFT + beamforming) of slot n+1 with the back half (CHE, NE,
+  // LMMSE MIMO, demodulation) of slot n.  Contract:
+  // run_back(p, sc, run_front(p, sc)) is bit-identical to run_slot(p, sc).
+  // Backends that cannot split (the simulator models a whole slot as one
+  // launch sequence) keep the default can_split() = false and abort in the
+  // split entry points.
+  virtual bool can_split() const { return false; }
+  virtual Slot_front run_front(const Pipeline& p,
+                               const phy::Uplink_scenario& sc);
+  virtual Slot_result run_back(const Pipeline& p,
+                               const phy::Uplink_scenario& sc,
+                               Slot_front front);
 };
 
 class Sim_backend final : public Backend {
@@ -50,6 +71,11 @@ class Reference_backend final : public Backend {
   bool cycle_accurate() const override { return false; }
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  bool can_split() const override { return true; }
+  Slot_front run_front(const Pipeline& p,
+                       const phy::Uplink_scenario& sc) override;
+  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
+                       Slot_front front) override;
 };
 
 // Fills `out.stages` with the per-stage launch counts the sim backend would
@@ -64,6 +90,10 @@ void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
 // hardware thread) and is ignored by the other two.
 std::unique_ptr<Backend> make_backend(std::string_view name,
                                       uint32_t intra = 0);
+
+// The names make_backend() accepts, in registration order - the CLI `--list`
+// surface and the validation list for readable unknown-backend errors.
+std::vector<std::string> backend_names();
 
 }  // namespace pp::runtime
 

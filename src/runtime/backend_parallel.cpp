@@ -155,18 +155,33 @@ void run_mimo_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
 
 Slot_result Parallel_backend::run_slot(const Pipeline& p,
                                        const phy::Uplink_scenario& sc) {
+  return run_back(p, sc, run_front(p, sc));
+}
+
+Slot_front Parallel_backend::run_front(const Pipeline&,
+                                       const phy::Uplink_scenario& sc) {
   const auto& cfg = sc.config();
 
   // 1) OFDM demodulation + 2) beamforming, fused per symbol (the serial
   // receiver's memory footprint: one symbol's spectra live at a time).
-  std::vector<std::vector<cd>> beams(cfg.n_symb);  // [symb][sc * beam]
-  std::vector<std::vector<cd>> freq(cfg.n_rx);     // reused per symbol
+  Slot_front front;
+  auto& beams = front.beams;  // [symb][sc * beam]
+  beams.resize(cfg.n_symb);
+  std::vector<std::vector<cd>> freq(cfg.n_rx);  // reused per symbol
   std::vector<cd> ft(static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
   for (uint32_t s = 0; s < cfg.n_symb; ++s) {
     run_fft_symbol(pool_, sc, s, freq);
     beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
     run_beamform_symbol(pool_, sc, freq, ft, beams[s]);
   }
+  return front;
+}
+
+Slot_result Parallel_backend::run_back(const Pipeline& p,
+                                       const phy::Uplink_scenario& sc,
+                                       Slot_front front) {
+  const auto& cfg = sc.config();
+  const auto& beams = front.beams;
 
   // 3) Channel estimation + 4) noise estimation.
   std::vector<cd> h_hat;

@@ -42,6 +42,14 @@ class Parallel_backend final : public Backend {
 
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  // Stage-split entry points (scheduler stage pipelining): the same code
+  // paths as run_slot(), cut at the beam-grid boundary, so
+  // run_back(run_front()) stays bit-identical to run_slot().
+  bool can_split() const override { return true; }
+  Slot_front run_front(const Pipeline& p,
+                       const phy::Uplink_scenario& sc) override;
+  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
+                       Slot_front front) override;
 
  private:
   common::Thread_pool pool_;

@@ -62,7 +62,18 @@ void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
 
 Slot_result Reference_backend::run_slot(const Pipeline& p,
                                         const phy::Uplink_scenario& sc) {
-  const auto golden = phy::golden_receive(sc);
+  return run_back(p, sc, run_front(p, sc));
+}
+
+Slot_front Reference_backend::run_front(const Pipeline&,
+                                        const phy::Uplink_scenario& sc) {
+  return Slot_front{phy::golden_front(sc)};
+}
+
+Slot_result Reference_backend::run_back(const Pipeline& p,
+                                        const phy::Uplink_scenario& sc,
+                                        Slot_front front) {
+  const auto golden = phy::golden_back(sc, front.beams);
 
   Slot_result out;
   out.backend = "reference";

@@ -1,0 +1,69 @@
+#include "runtime/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pp::runtime {
+
+size_t Latency_histogram::bucket_of(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // also catches NaN
+  int e = 0;
+  const double m = std::frexp(seconds, &e);  // seconds = m * 2^e, m in [0.5,1)
+  if (e < kMinExp) return 0;
+  if (e > kMaxExp) return kBuckets - 1;
+  // 2m - 1 in [0, 1): both the doubling and the subtraction are exact
+  // (Sterbenz), as is the *16, so the sub-bucket never depends on libm.
+  const int sub = static_cast<int>((2.0 * m - 1.0) * kSub);
+  return static_cast<size_t>(e - kMinExp) * kSub + static_cast<size_t>(sub);
+}
+
+double Latency_histogram::bucket_upper_edge(size_t bucket) {
+  PP_CHECK(bucket < kBuckets, "latency bucket out of range");
+  const int e = kMinExp + static_cast<int>(bucket / kSub);
+  const int sub = static_cast<int>(bucket % kSub);
+  // Octave e covers [2^(e-1), 2^e); sub-bucket upper edge at
+  // 2^(e-1) * (1 + (sub+1)/16) - exact for every bucket.
+  return std::ldexp(static_cast<double>(kSub + sub + 1) / kSub, e - 1);
+}
+
+void Latency_histogram::record(double seconds) {
+  ++counts_[bucket_of(seconds)];
+  ++count_;
+  max_ = std::max(max_, seconds);
+}
+
+double Latency_histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cum += counts_[b];
+    if (static_cast<double>(cum) >= rank) return bucket_upper_edge(b);
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+std::vector<double> fcfs_completion(const std::vector<double>& arrival_s,
+                                    const std::vector<double>& service_s,
+                                    uint32_t servers) {
+  PP_CHECK(arrival_s.size() == service_s.size(),
+           "fcfs queue needs one service time per arrival");
+  PP_CHECK(servers >= 1, "fcfs queue needs at least one server");
+  std::vector<double> free_at(servers, 0.0);
+  std::vector<double> completion(arrival_s.size());
+  for (size_t i = 0; i < arrival_s.size(); ++i) {
+    // Earliest-free server, ties to the lowest id - a deterministic pick.
+    size_t s = 0;
+    for (size_t j = 1; j < free_at.size(); ++j) {
+      if (free_at[j] < free_at[s]) s = j;
+    }
+    const double start = std::max(arrival_s[i], free_at[s]);
+    free_at[s] = start + service_s[i];
+    completion[i] = free_at[s];
+  }
+  return completion;
+}
+
+}  // namespace pp::runtime

@@ -67,4 +67,19 @@ std::unique_ptr<Backend> make_backend(std::string_view name, uint32_t intra) {
   return nullptr;
 }
 
+std::vector<std::string> backend_names() {
+  return {"sim", "reference", "parallel"};
+}
+
+Slot_front Backend::run_front(const Pipeline&, const phy::Uplink_scenario&) {
+  PP_CHECK(false, "backend does not support stage-split execution");
+  return {};
+}
+
+Slot_result Backend::run_back(const Pipeline&, const phy::Uplink_scenario&,
+                              Slot_front) {
+  PP_CHECK(false, "backend does not support stage-split execution");
+  return {};
+}
+
 }  // namespace pp::runtime

@@ -206,4 +206,15 @@ Pipeline uplink_pipeline(const arch::Cluster_config& cluster,
   return p;
 }
 
+std::vector<std::pair<std::string, std::string>> preset_names() {
+  return {
+      {"uplink",
+       "end-to-end functional PUSCH receive chain (uplink_pipeline); "
+       "executes on any backend"},
+      {"use-case",
+       "analytic Fig. 9c use-case roll-up (use_case_pipeline); measured on "
+       "the simulated cluster"},
+  };
+}
+
 }  // namespace pp::runtime

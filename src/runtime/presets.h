@@ -10,6 +10,8 @@
 #ifndef PUSCHPOOL_RUNTIME_PRESETS_H
 #define PUSCHPOOL_RUNTIME_PRESETS_H
 
+#include <utility>
+
 #include "pusch/complexity.h"
 #include "runtime/pipeline.h"
 
@@ -37,6 +39,10 @@ struct Uplink_options {
 
 Pipeline uplink_pipeline(const arch::Cluster_config& cluster,
                          const Uplink_options& opt = {});
+
+// (name, summary) of the built-in pipeline presets, in registration order -
+// the CLI `--list` surface next to Registry::list() and backend_names().
+std::vector<std::pair<std::string, std::string>> preset_names();
 
 }  // namespace pp::runtime
 

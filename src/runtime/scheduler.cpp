@@ -1,0 +1,312 @@
+#include "runtime/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "pusch/complexity.h"
+#include "runtime/backend.h"
+
+namespace pp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Hand-off between a worker's front and back thread in pipelined mode: a
+// one-deep mailbox, i.e. the double buffer - the back thread equalizes slot
+// n while the front thread's FFT+beamforming of slot n+1 fills the mailbox.
+struct Front_item {
+  uint64_t index = 0;
+  std::unique_ptr<const phy::Uplink_scenario> sc;
+  Slot_front front;
+  double front_seconds = 0.0;
+};
+
+class Front_mailbox {
+ public:
+  void push(Front_item item) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return !item_.has_value(); });
+    item_.emplace(std::move(item));
+    cv_.notify_all();
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  std::optional<Front_item> pop() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return item_.has_value() || closed_; });
+    if (!item_.has_value()) return std::nullopt;
+    std::optional<Front_item> out = std::move(item_);
+    item_.reset();
+    cv_.notify_all();
+    return out;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::optional<Front_item> item_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+double analytic_service_seconds(const phy::Uplink_config& cfg,
+                                const arch::Cluster_config& cluster,
+                                double clock_ghz) {
+  PP_CHECK(clock_ghz > 0.0, "service model needs a positive clock");
+  pusch::Pusch_dims d;
+  d.n_sc = cfg.n_sc;
+  d.fft_size = cfg.fft_size;
+  d.n_symb = cfg.n_symb;
+  d.n_pilot_symb = cfg.n_pilot_symb;
+  d.n_rx = cfg.n_rx;
+  d.n_beams = cfg.n_beams;
+  d.n_ue = cfg.n_ue;
+  const double cycles = pusch::pusch_macs(d).total() / cluster.n_cores();
+  return cycles / (clock_ghz * 1e9);
+}
+
+Slot_scheduler::Slot_scheduler(Scheduler_options opt) : opt_(std::move(opt)) {}
+
+Schedule_result Slot_scheduler::run(const Slot_source& src) const {
+  const uint64_t n_slots = src.n_slots();
+
+  uint32_t workers = opt_.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  if (workers > n_slots) {
+    workers = static_cast<uint32_t>(std::max<uint64_t>(n_slots, 1));
+  }
+
+  const Pipeline pipeline = uplink_pipeline(opt_.cluster, opt_.uplink);
+
+  // Probe the backend once for the split and cycle-accuracy capabilities
+  // (cheap: intra = 1 spawns no pool threads).
+  bool pipelined = opt_.pipelined;
+  bool cycle_accurate = false;
+  {
+    const auto probe = make_backend(opt_.backend, 1);
+    cycle_accurate = probe->cycle_accurate();
+    pipelined = pipelined && probe->can_split();
+  }
+
+  // Workers pull global slot indices from the cursor and write results into
+  // their own pre-sized element - no locks, no shared mutable kernel state
+  // (each worker or worker-thread instantiates a private Backend; the
+  // lazily-built twiddle / QAM tables are call_once-guarded and immutable
+  // afterwards).  `jobs` is filled alongside: job(i) is pure, so whichever
+  // thread resolves index i writes the same descriptor.
+  std::vector<Slot_result> slots(n_slots);
+  std::vector<Slot_job> jobs(n_slots);
+  std::vector<double> wall_service(n_slots, 0.0);
+  std::atomic<uint64_t> cursor{0};
+
+  // Plain mode: each worker runs whole slots, exactly the old sweep engine.
+  auto work_whole = [&] {
+    const std::unique_ptr<Backend> backend =
+        make_backend(opt_.backend, opt_.intra);
+    for (;;) {
+      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_slots) break;
+      jobs[i] = src.job(i);
+      const phy::Uplink_scenario sc(jobs[i].cfg);
+      const auto t0 = Clock::now();
+      slots[i] = pipeline.execute(sc, *backend);
+      wall_service[i] = seconds_since(t0);
+    }
+  };
+
+  // Pipelined mode: the worker becomes two threads with private backends.
+  // The front thread owns scenario generation + FFT + beamforming of the
+  // next slot while the back thread finishes the previous one.
+  auto work_front = [&](Front_mailbox& box) {
+    const std::unique_ptr<Backend> backend =
+        make_backend(opt_.backend, opt_.intra);
+    for (;;) {
+      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_slots) break;
+      jobs[i] = src.job(i);
+      auto sc = std::make_unique<const phy::Uplink_scenario>(jobs[i].cfg);
+      const auto t0 = Clock::now();
+      Slot_front front = backend->run_front(pipeline, *sc);
+      const double dt = seconds_since(t0);
+      box.push(Front_item{i, std::move(sc), std::move(front), dt});
+    }
+    box.close();
+  };
+  auto work_back = [&](Front_mailbox& box) {
+    const std::unique_ptr<Backend> backend =
+        make_backend(opt_.backend, opt_.intra);
+    while (auto item = box.pop()) {
+      const auto t0 = Clock::now();
+      slots[item->index] =
+          backend->run_back(pipeline, *item->sc, std::move(item->front));
+      wall_service[item->index] = item->front_seconds + seconds_since(t0);
+    }
+  };
+
+  const auto t0 = Clock::now();
+  if (n_slots > 0) {
+    if (pipelined) {
+      std::vector<Front_mailbox> boxes(workers);
+      std::vector<std::thread> pool;
+      pool.reserve(2 * workers - 1);
+      for (uint32_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] { work_front(boxes[w]); });
+        // The calling thread serves as worker 0's back half.
+        if (w > 0) pool.emplace_back([&, w] { work_back(boxes[w]); });
+      }
+      work_back(boxes[0]);
+      for (auto& t : pool) t.join();
+    } else if (workers <= 1) {
+      work_whole();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work_whole);
+      for (auto& t : pool) t.join();
+    }
+  }
+  const double wall_seconds = seconds_since(t0);
+
+  // ---- deterministic virtual-time deadline accounting ------------------
+  // Service times: simulated cycles at the virtual clock when the backend
+  // reports them, the analytic MAC model otherwise; both are pure functions
+  // of the slot configuration.  The FCFS queue over `service_units` virtual
+  // clusters then yields per-slot latencies independent of host scheduling.
+  std::vector<double> arrival_s(n_slots), service_s(n_slots);
+  for (uint64_t i = 0; i < n_slots; ++i) {
+    arrival_s[i] = jobs[i].arrival_s;
+    service_s[i] =
+        cycle_accurate
+            ? static_cast<double>(slots[i].total_cycles()) /
+                  (opt_.clock_ghz * 1e9)
+            : analytic_service_seconds(jobs[i].cfg, opt_.cluster,
+                                       opt_.clock_ghz);
+  }
+  const std::vector<double> completion_s =
+      fcfs_completion(arrival_s, service_s, std::max(1u, opt_.service_units));
+
+  // ---- aggregation, strictly in slot-index order -----------------------
+  Schedule_result out;
+  out.source = src.name();
+  out.backend = opt_.backend;
+  out.workers = workers;
+  out.pipelined = pipelined;
+  out.total_slots = n_slots;
+  out.wall_seconds = wall_seconds;
+
+  out.groups.resize(src.n_groups());
+  for (uint32_t g = 0; g < src.n_groups(); ++g) {
+    out.groups[g].label = src.group_label(g);
+  }
+  std::vector<double> group_evm2(out.groups.size(), 0.0);
+  std::vector<double> group_ber(out.groups.size(), 0.0);
+  std::vector<double> group_sigma2(out.groups.size(), 0.0);
+  for (uint64_t i = 0; i < n_slots; ++i) {
+    const Slot_job& job = jobs[i];
+    const Slot_result& s = slots[i];
+    PP_CHECK(job.group < out.groups.size(), "slot job group out of range");
+    auto& grp = out.groups[job.group];
+    ++grp.slots;
+    group_evm2[job.group] += s.evm * s.evm;
+    group_ber[job.group] += s.ber;
+    group_sigma2[job.group] += s.sigma2_hat;
+    grp.cycles += s.total_cycles();
+    out.total_cycles += s.total_cycles();
+
+    const double latency = completion_s[i] - job.arrival_s;
+    out.latency.record(latency);
+    grp.latency.record(latency);
+    out.wall_service.record(wall_service[i]);
+    out.virtual_makespan_s = std::max(out.virtual_makespan_s, completion_s[i]);
+    if (job.budget_s > 0.0) {
+      ++out.deadline_slots;
+      ++grp.deadline_slots;
+      if (latency > job.budget_s) {
+        ++out.deadline_misses;
+        ++grp.deadline_misses;
+      }
+    }
+  }
+  for (size_t g = 0; g < out.groups.size(); ++g) {
+    auto& grp = out.groups[g];
+    if (grp.slots > 0) {
+      grp.evm = std::sqrt(group_evm2[g] / grp.slots);
+      grp.ber = group_ber[g] / grp.slots;
+      grp.sigma2_hat = group_sigma2[g] / grp.slots;
+    }
+  }
+  if (opt_.keep_slots) out.slots = std::move(slots);
+  return out;
+}
+
+bool Schedule_result::deterministic_equal(const Schedule_result& o) const {
+  if (groups.size() != o.groups.size()) return false;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Group& a = groups[g];
+    const Group& b = o.groups[g];
+    if (a.label != b.label || a.slots != b.slots || a.evm != b.evm ||
+        a.ber != b.ber || a.sigma2_hat != b.sigma2_hat ||
+        a.cycles != b.cycles || a.deadline_slots != b.deadline_slots ||
+        a.deadline_misses != b.deadline_misses ||
+        !(a.latency == b.latency)) {
+      return false;
+    }
+  }
+  return latency == o.latency && deadline_slots == o.deadline_slots &&
+         deadline_misses == o.deadline_misses &&
+         virtual_makespan_s == o.virtual_makespan_s &&
+         total_slots == o.total_slots && total_cycles == o.total_cycles;
+}
+
+std::string Schedule_result::str() const {
+  common::Table t({"group", "slots", "EVM %", "BER", "sigma2^", "cycles",
+                   "miss/dl", "p50 us", "p99 us"});
+  for (const auto& g : groups) {
+    t.add_row({g.label,
+               common::Table::fmt(static_cast<uint64_t>(g.slots)),
+               common::Table::fmt(100.0 * g.evm, 2),
+               common::Table::fmt(g.ber, 5),
+               common::Table::fmt(g.sigma2_hat, 8),
+               common::Table::fmt(g.cycles),
+               common::Table::fmt(g.deadline_misses) + "/" +
+                   common::Table::fmt(g.deadline_slots),
+               common::Table::fmt(1e6 * g.latency.percentile(0.50), 2),
+               common::Table::fmt(1e6 * g.latency.percentile(0.99), 2)});
+  }
+  char footer[320];
+  std::snprintf(
+      footer, sizeof footer,
+      "%llu slots from '%s' on the %s backend, %u worker%s%s: %.3f s wall, "
+      "%.1f slots/s\nvirtual clock: makespan %.3f ms, latency p50/p99/p999 "
+      "%.1f/%.1f/%.1f us, %llu/%llu deadline misses\n",
+      static_cast<unsigned long long>(total_slots), source.c_str(),
+      backend.c_str(), workers, workers == 1 ? "" : "s",
+      pipelined ? " (stage-pipelined)" : "", wall_seconds, slots_per_second(),
+      1e3 * virtual_makespan_s, 1e6 * latency.percentile(0.50),
+      1e6 * latency.percentile(0.99), 1e6 * latency.percentile(0.999),
+      static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(deadline_slots));
+  return t.str() + footer;
+}
+
+}  // namespace pp::runtime

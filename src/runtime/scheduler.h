@@ -1,0 +1,173 @@
+// Streaming slot scheduler: deadline-aware execution of slot jobs from
+// pluggable sources.
+//
+// This is the execution core that used to live inside Sweep_runner,
+// generalized from "walk a fixed cartesian grid" to "pull slot jobs from a
+// Slot_source":
+//
+//   Slot_source       pure-function job stream: job(i) depends only on the
+//                     source's configuration and the index i, and arrival
+//                     times are non-decreasing in i.  Grid_source (sweep.h)
+//                     adapts the batch scenario grid; Traffic_source
+//                     (traffic.h) generates stochastic multi-cell uplink
+//                     traffic with Poisson arrivals.
+//   Slot_scheduler    a worker pool pulling job indices from an atomic
+//                     cursor, one private Backend per worker (exactly the
+//                     old sweep engine); optionally stage-pipelined: each
+//                     worker becomes a front thread (OFDM FFT + beamforming
+//                     of slot n+1) and a back thread (CHE/NE/LMMSE MIMO of
+//                     slot n) connected by a double buffer, composing with
+//                     the "parallel" backend's intra-slot split.
+//   deadline account  per-slot latency through a deterministic virtual-time
+//                     model: seeded arrivals from the source, service times
+//                     from simulated cycles (cycle-accurate backends) or
+//                     the paper's MAC-complexity model (host backends), and
+//                     an FCFS queue over `service_units` virtual clusters
+//                     (latency.h).  Misses are counted against each job's
+//                     numerology slot budget and latencies aggregated into
+//                     histograms with p50/p99/p999.
+//
+// Determinism contract (docs/DETERMINISM.md): every per-slot result is a
+// pure function of (source, slot index), aggregation walks slots in index
+// order, and the virtual clock is independent of host scheduling - so the
+// slot results, group roll-ups, latency histograms and deadline-miss counts
+// are bit-identical for any (workers, intra) combination and with stage
+// pipelining on or off.  Wall-clock throughput and the measured per-slot
+// service histogram are the only host-dependent outputs.
+#ifndef PUSCHPOOL_RUNTIME_SCHEDULER_H
+#define PUSCHPOOL_RUNTIME_SCHEDULER_H
+
+#include <string>
+#include <vector>
+
+#include "phy/uplink.h"
+#include "runtime/latency.h"
+#include "runtime/presets.h"
+
+namespace pp::runtime {
+
+// One unit of work for the scheduler: a fully-resolved uplink slot plus its
+// virtual arrival time and processing budget.
+struct Slot_job {
+  uint64_t index = 0;      // global stream index; also the seed stream
+  uint32_t group = 0;      // source-defined roll-up bucket (grid point, cell)
+  phy::Uplink_config cfg;  // everything the PHY needs, seed included
+  double arrival_s = 0.0;  // virtual arrival time on the source's clock
+  double budget_s = 0.0;   // processing deadline; 0 = batch job, no deadline
+};
+
+// A stream of slot jobs.  job(i) must be a pure function of the source's
+// configuration and i (the scheduler calls it from concurrent workers), and
+// arrival_s must be non-decreasing in i (the FCFS queue model's contract).
+class Slot_source {
+ public:
+  virtual ~Slot_source() = default;
+  virtual std::string_view name() const = 0;
+  virtual uint64_t n_slots() const = 0;
+  virtual uint32_t n_groups() const = 0;
+  virtual std::string group_label(uint32_t group) const = 0;
+  virtual Slot_job job(uint64_t index) const = 0;
+};
+
+struct Scheduler_options {
+  uint32_t workers = 0;  // slot-level workers; 0 = hardware_concurrency
+  std::string backend = "reference";  // make_backend() name
+  uint32_t intra = 1;    // intra-slot workers ("parallel" backend only)
+  // Stage-pipelined execution: overlap the front half of slot n+1 with the
+  // back half of slot n (2 threads per worker, double-buffered hand-off).
+  // Silently ignored when the backend cannot split (Backend::can_split());
+  // the effective setting is reported in Schedule_result::pipelined.
+  bool pipelined = false;
+  arch::Cluster_config cluster = arch::Cluster_config::minipool();
+  Uplink_options uplink;   // preset knobs (FFT gangs, Cholesky batching)
+  bool keep_slots = true;  // retain per-slot results (the bit-exact surface)
+
+  // Virtual-time service model: simulated cycles (cycle-accurate backends)
+  // or the analytic MAC model (host backends), scaled to seconds at this
+  // clock.  The paper evaluates the clusters at 1 GHz.
+  double clock_ghz = 1.0;
+  // Virtual clusters draining the job queue in the FCFS deadline model.
+  // Deliberately NOT tied to `workers`: the virtual clock must stay
+  // deterministic while the host worker count varies.
+  uint32_t service_units = 1;
+};
+
+struct Schedule_result {
+  struct Group {
+    std::string label;
+    uint32_t slots = 0;
+    double evm = 0.0;         // rms over the group's slots
+    double ber = 0.0;         // mean over the group's slots
+    double sigma2_hat = 0.0;  // mean NE output
+    uint64_t cycles = 0;      // summed simulated cycles (0 on host backends)
+    uint64_t deadline_slots = 0;   // slots that carried a budget
+    uint64_t deadline_misses = 0;  // virtual latency above the budget
+    Latency_histogram latency;     // virtual-time latency of these slots
+  };
+  std::vector<Group> groups;
+  // Per-slot results in stream order (empty when keep_slots is off).
+  std::vector<Slot_result> slots;
+
+  // Virtual-time (deterministic) latency surface.
+  Latency_histogram latency;   // all slots
+  uint64_t deadline_slots = 0;
+  uint64_t deadline_misses = 0;
+  double virtual_makespan_s = 0.0;  // last completion on the virtual clock
+
+  // Host-dependent surface: measured per-slot service times and wall clock.
+  Latency_histogram wall_service;
+  double wall_seconds = 0.0;
+
+  std::string source;
+  std::string backend;
+  uint32_t workers = 0;
+  bool pipelined = false;  // effective setting (false if backend can't split)
+  uint64_t total_slots = 0;
+  uint64_t total_cycles = 0;
+
+  double slots_per_second() const {
+    return wall_seconds > 0.0 ? total_slots / wall_seconds : 0.0;
+  }
+  double miss_rate() const {
+    return deadline_slots
+               ? static_cast<double>(deadline_misses) / deadline_slots
+               : 0.0;
+  }
+
+  // Whole-surface equality of everything the determinism contract covers
+  // (groups, latency histograms, deadline counters, virtual makespan,
+  // cycle/slot totals) - deliberately excluding the host-dependent fields
+  // (wall clock, wall-service histogram, workers, pipelined).  This is the
+  // single definition the worker-invariance re-checks use
+  // (bench_serve_latency, tests/test_scheduler.cpp), so a new
+  // deterministic field only needs adding here.
+  bool deterministic_equal(const Schedule_result& o) const;
+
+  // ASCII per-group table plus a latency/deadline/throughput footer.
+  std::string str() const;
+};
+
+class Slot_scheduler {
+ public:
+  explicit Slot_scheduler(Scheduler_options opt = {});
+
+  const Scheduler_options& options() const { return opt_; }
+
+  Schedule_result run(const Slot_source& src) const;
+
+ private:
+  Scheduler_options opt_;
+};
+
+// Deterministic analytic service time of one slot on `cluster` at
+// `clock_ghz`: the paper's Table I complex-MAC count for the slot's
+// dimensions, idealized at one MAC per core per cycle.  The virtual-time
+// deadline model uses this for backends that report no cycles; exact given
+// IEEE doubles (integer products and log2 of a power of two).
+double analytic_service_seconds(const phy::Uplink_config& cfg,
+                                const arch::Cluster_config& cluster,
+                                double clock_ghz);
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_SCHEDULER_H

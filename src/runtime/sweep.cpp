@@ -1,14 +1,10 @@
 #include "runtime/sweep.h"
 
-#include <atomic>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <thread>
 
 #include "common/check.h"
 #include "common/table.h"
-#include "runtime/backend.h"
 
 namespace pp::runtime {
 
@@ -57,79 +53,69 @@ phy::Uplink_config Sweep_runner::slot_config(const Sweep_grid& grid,
   return c;
 }
 
+Grid_source::Grid_source(Sweep_grid grid)
+    : grid_(std::move(grid)), points_(grid_.points()) {}
+
+std::string Grid_source::group_label(uint32_t group) const {
+  PP_CHECK(group < points_.size(), "grid point index out of range");
+  const Sweep_point& p = points_[group];
+  return "fft" + std::to_string(p.fft_size) + " ue" + std::to_string(p.n_ue) +
+         " qam" + std::to_string(static_cast<uint32_t>(p.qam)) + " snr" +
+         common::Table::fmt(p.snr_db, 1);
+}
+
+Slot_job Grid_source::job(uint64_t index) const {
+  PP_CHECK(grid_.slots_per_point > 0 && index < grid_.n_slots(),
+           "grid slot index out of range");
+  Slot_job job;
+  job.index = index;
+  job.group = static_cast<uint32_t>(index / grid_.slots_per_point);
+  job.cfg = Sweep_runner::slot_config(grid_, points_[job.group], index);
+  // Batch semantics: everything is available up front and nothing carries a
+  // deadline - the virtual-time model reduces to plain utilization.
+  job.arrival_s = 0.0;
+  job.budget_s = 0.0;
+  return job;
+}
+
 Sweep_runner::Sweep_runner(Sweep_options opt) : opt_(std::move(opt)) {}
 
 Sweep_result Sweep_runner::run(const Sweep_grid& grid) const {
-  const std::vector<Sweep_point> points = grid.points();
-  const uint64_t per_point = grid.slots_per_point;
-  const uint64_t n_slots = points.size() * per_point;
+  Scheduler_options sopt;
+  sopt.workers = opt_.workers;
+  sopt.backend = opt_.backend;
+  sopt.intra = opt_.intra;
+  sopt.cluster = opt_.cluster;
+  sopt.uplink = opt_.uplink;
+  sopt.keep_slots = opt_.keep_slots;
 
-  uint32_t workers = opt_.workers;
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  if (workers > n_slots) workers = static_cast<uint32_t>(std::max<uint64_t>(n_slots, 1));
+  const Grid_source source(grid);
+  Schedule_result sched = Slot_scheduler(sopt).run(source);
 
-  const Pipeline pipeline = uplink_pipeline(opt_.cluster, opt_.uplink);
-
-  const auto t0 = std::chrono::steady_clock::now();
-
-  // Workers pull global slot indices from the cursor and write results into
-  // their own pre-sized element — no locks, no shared mutable kernel state
-  // (each worker instantiates a private Backend; the lazily-built twiddle /
-  // QAM tables are call_once-guarded and immutable afterwards).
-  std::vector<Slot_result> slots(n_slots);
-  std::atomic<uint64_t> cursor{0};
-  auto work = [&] {
-    const std::unique_ptr<Backend> backend =
-        make_backend(opt_.backend, opt_.intra);
-    for (;;) {
-      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_slots) break;
-      const Sweep_point& pt = points[i / per_point];
-      const phy::Uplink_scenario sc(slot_config(grid, pt, i));
-      slots[i] = pipeline.execute(sc, *backend);
-    }
-  };
-  if (n_slots > 0) {
-    if (workers <= 1) {
-      work();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
-      for (auto& t : pool) t.join();
-    }
-  }
-
-  const auto t1 = std::chrono::steady_clock::now();
-
-  // Aggregate in slot-index order so the roll-up (including its
-  // floating-point sums) is independent of worker scheduling.
+  // Re-shape the scheduler's group roll-up into the historical per-point
+  // result.  The group aggregation walks slots in index order with the same
+  // formulas the pre-refactor engine used, so every field is bit-identical.
   Sweep_result out;
   out.backend = opt_.backend;
-  out.workers = workers;
-  out.total_slots = n_slots;
-  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.workers = sched.workers;
+  out.total_slots = sched.total_slots;
+  out.total_cycles = sched.total_cycles;
+  out.wall_seconds = sched.wall_seconds;
+  const std::vector<Sweep_point> points = grid.points();
   out.points.resize(points.size());
   for (size_t p = 0; p < points.size(); ++p) {
     auto& row = out.points[p];
     row.point = points[p];
-    row.slots = static_cast<uint32_t>(per_point);
-    double evm2 = 0.0, ber = 0.0, sigma2 = 0.0;
-    for (uint64_t j = p * per_point; j < (p + 1) * per_point; ++j) {
-      const Slot_result& s = slots[j];
-      evm2 += s.evm * s.evm;
-      ber += s.ber;
-      sigma2 += s.sigma2_hat;
-      row.cycles += s.total_cycles();
+    row.slots = grid.slots_per_point;
+    if (p < sched.groups.size()) {
+      const auto& grp = sched.groups[p];
+      row.evm = grp.evm;
+      row.ber = grp.ber;
+      row.sigma2_hat = grp.sigma2_hat;
+      row.cycles = grp.cycles;
     }
-    if (per_point > 0) {
-      row.evm = std::sqrt(evm2 / per_point);
-      row.ber = ber / per_point;
-      row.sigma2_hat = sigma2 / per_point;
-    }
-    out.total_cycles += row.cycles;
   }
-  if (opt_.keep_slots) out.slots = std::move(slots);
+  if (opt_.keep_slots) out.slots = std::move(sched.slots);
   return out;
 }
 

@@ -1,26 +1,24 @@
-// Multi-threaded scenario sweep engine.
+// Scenario sweep grids and the batch-sweep compatibility wrapper.
 //
 // A Sweep_grid spans a scenario space - numerologies (FFT size = active
 // sub-carriers), UE counts, QAM orders, SNR points - with `slots_per_point`
-// independently-faded slots per grid point.  Sweep_runner executes every
-// slot of the grid on a host thread pool:
+// independently-faded slots per grid point.  Since the scheduler refactor
+// the execution core lives in runtime::Slot_scheduler (scheduler.h): this
+// header contributes
 //
-//   slot parallelism   workers pull global slot indices from an atomic
-//                      cursor; each owns a private Backend instance
-//   intra-slot         with backend "parallel", every slot worker's Backend
-//                      additionally splits each kernel across `intra`
-//                      threads (runtime::Parallel_backend), composing
-//                      slot-level x intra-slot parallelism
-//   determinism        each slot is generated from a seed derived purely
-//                      from (base_seed, slot_index) (common::Rng::derive_seed
-//                      - SplitMix64), and aggregation walks slots in index
-//                      order, so any (workers, intra) combination is
-//                      bit-identical to the serial run (docs/DETERMINISM.md)
+//   Grid_source    the thin Slot_source adapter that turns the grid into a
+//                  batch job stream (every job arrives at t = 0, carries no
+//                  deadline, and groups by grid point)
+//   Sweep_runner   the original batch API, now a compatibility wrapper:
+//                  Grid_source + Slot_scheduler + the point roll-up, with
+//                  results bit-identical to the pre-refactor engine
+//                  (tests/test_scheduler.cpp pins the parity)
 //
-// The per-point roll-up gives EVM/BER-vs-SNR curves, mean estimated noise,
-// and summed simulated cycles (zero on the host backends); the totals give
-// wall-clock slots/sec - the throughput figure the paper's slot-budget
-// argument is about.
+// The determinism contract is unchanged: each slot is generated from a seed
+// derived purely from (base_seed, slot_index) (common::Rng::derive_seed -
+// SplitMix64), and aggregation walks slots in index order, so any
+// (workers, intra) combination is bit-identical to the serial run
+// (docs/DETERMINISM.md).
 //
 // Driven by name through the registry/preset layer: the pipeline is the
 // uplink_pipeline() preset over a named cluster, the backend comes from
@@ -33,7 +31,7 @@
 #include <vector>
 
 #include "phy/uplink.h"
-#include "runtime/presets.h"
+#include "runtime/scheduler.h"
 
 namespace pp::runtime {
 
@@ -68,6 +66,28 @@ struct Sweep_grid {
   std::vector<Sweep_point> points() const;
   uint64_t n_points() const;
   uint64_t n_slots() const { return n_points() * slots_per_point; }
+};
+
+// The grid as a Slot_source: slot i belongs to point i / slots_per_point,
+// arrives at t = 0 (batch semantics - the FCFS model degrades to "process
+// in index order") and carries no deadline budget.
+class Grid_source final : public Slot_source {
+ public:
+  explicit Grid_source(Sweep_grid grid);
+
+  const Sweep_grid& grid() const { return grid_; }
+
+  std::string_view name() const override { return "grid"; }
+  uint64_t n_slots() const override { return grid_.n_slots(); }
+  uint32_t n_groups() const override {
+    return static_cast<uint32_t>(points_.size());
+  }
+  std::string group_label(uint32_t group) const override;
+  Slot_job job(uint64_t index) const override;
+
+ private:
+  Sweep_grid grid_;
+  std::vector<Sweep_point> points_;
 };
 
 struct Sweep_options {

@@ -1,0 +1,98 @@
+// Deterministic stochastic multi-cell uplink traffic source.
+//
+// Traffic_source feeds the streaming scheduler (scheduler.h) with the
+// regime the batch grid cannot express: several cells of different
+// numerology / UE count / QAM order sharing one processing cluster, slots
+// arriving as independent Poisson processes instead of a fixed walk.  The
+// follow-up SDR papers (PAPERS.md) evaluate exactly this sustained-traffic
+// regime.
+//
+// Determinism contract:
+//   arrivals     each cell owns a private inter-arrival RNG stream seeded
+//                with Rng::derive_seed(base_seed, 2^48 + cell) - far above
+//                any slot index, so arrival streams and slot-content
+//                streams can never collide.  Exponential gaps with mean
+//                slot_duration / load make the per-cell process Poisson.
+//   merge        jobs are emitted in global arrival order (ties broken by
+//                cell index).  Each cell's arrival sequence is
+//                prefix-stable and the merge is deterministic, so growing
+//                n_slots only appends jobs - earlier slots keep their
+//                index, seed, and therefore bit-exact results
+//                (tests/test_traffic.cpp pins this).
+//   content      slot i's scenario seed is Rng::derive_seed(base_seed, i),
+//                the same contract as the sweep engine, so any worker
+//                count reproduces the serial run bit-for-bit.
+//   deadline     each job's budget is its cell's numerology slot duration
+//                (phy::slot_budget_seconds) unless the cell overrides it.
+#ifndef PUSCHPOOL_RUNTIME_TRAFFIC_H
+#define PUSCHPOOL_RUNTIME_TRAFFIC_H
+
+#include <string>
+#include <vector>
+
+#include "phy/numerology.h"
+#include "runtime/scheduler.h"
+
+namespace pp::runtime {
+
+// One cell of the mixed workload.
+struct Traffic_cell {
+  std::string name;        // label for roll-ups; empty = "cell<i>"
+  uint32_t mu = 1;         // 5G numerology index: slot = 1 ms / 2^mu
+  uint32_t fft_size = 64;  // == active sub-carriers (the sim backend's rule)
+  uint32_t n_ue = 2;
+  phy::Qam qam = phy::Qam::qam16;
+  double snr_db = 30.0;
+  // Mean arrivals per slot duration (Poisson).  1.0 is the saturated
+  // streaming regime - on average one slot per slot budget.
+  double load = 0.5;
+  // Deadline override in seconds; 0 = the numerology slot duration.
+  double budget_s = 0.0;
+
+  double slot_seconds() const { return phy::slot_budget_seconds(mu); }
+  double budget_seconds() const {
+    return budget_s > 0.0 ? budget_s : slot_seconds();
+  }
+};
+
+struct Traffic_config {
+  std::vector<Traffic_cell> cells = {Traffic_cell{}};
+  uint64_t n_slots = 64;  // jobs generated across all cells
+  uint64_t base_seed = 1;
+
+  // Scenario knobs shared by every cell (same roles as Sweep_grid's).
+  uint32_t n_rx = 4;
+  uint32_t n_beams = 4;
+  uint32_t n_symb = 4;  // OFDM symbols per slot, incl. pilots
+  uint32_t n_pilot_symb = 2;
+  double ue_power = 0.08;
+  double channel_gain = 0.25;
+  uint32_t coherence = 16;
+};
+
+class Traffic_source final : public Slot_source {
+ public:
+  explicit Traffic_source(Traffic_config cfg);
+
+  const Traffic_config& config() const { return cfg_; }
+
+  std::string_view name() const override { return "traffic"; }
+  uint64_t n_slots() const override { return jobs_.size(); }
+  uint32_t n_groups() const override {
+    return static_cast<uint32_t>(cfg_.cells.size());
+  }
+  std::string group_label(uint32_t group) const override;
+  Slot_job job(uint64_t index) const override;
+
+  // The arrival-stream offset: cell c's inter-arrival RNG stream is
+  // derive_seed(base_seed, kArrivalStream + c).
+  static constexpr uint64_t kArrivalStream = uint64_t{1} << 48;
+
+ private:
+  Traffic_config cfg_;
+  std::vector<Slot_job> jobs_;  // precomputed, global arrival order
+};
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_TRAFFIC_H

@@ -1,0 +1,261 @@
+// Slot_scheduler determinism and compatibility tests.
+//
+// The load-bearing guarantees of the scheduler refactor:
+//   - the Grid_source path is bit-identical to the pre-refactor sweep
+//     engine (a serial slot_config + Pipeline::execute loop) at any worker
+//     count, and Sweep_runner's wrapper output matches it;
+//   - a fixed-seed Traffic_source run produces identical aggregate reports
+//     (slot results, latency histograms, deadline-miss counts) at any
+//     worker count and with stage pipelining on or off;
+//   - the stage-split backend entry points (run_front + run_back) are
+//     bit-identical to run_slot on both host backends.
+#include <gtest/gtest.h>
+
+#include "runtime/backend.h"
+#include "runtime/backend_parallel.h"
+#include "runtime/scheduler.h"
+#include "runtime/sweep.h"
+#include "runtime/traffic.h"
+
+namespace {
+
+using namespace pp;
+using runtime::Grid_source;
+using runtime::Schedule_result;
+using runtime::Scheduler_options;
+using runtime::Slot_scheduler;
+using runtime::Sweep_grid;
+using runtime::Sweep_runner;
+using runtime::Traffic_cell;
+using runtime::Traffic_config;
+using runtime::Traffic_source;
+
+void expect_slots_identical(const std::vector<runtime::Slot_result>& a,
+                            const std::vector<runtime::Slot_result>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bits, b[i].bits) << "slot " << i;
+    EXPECT_EQ(a[i].evm, b[i].evm) << "slot " << i;
+    EXPECT_EQ(a[i].ber, b[i].ber) << "slot " << i;
+    EXPECT_EQ(a[i].sigma2_hat, b[i].sigma2_hat) << "slot " << i;
+    EXPECT_EQ(a[i].total_cycles(), b[i].total_cycles()) << "slot " << i;
+  }
+}
+
+void expect_aggregates_identical(const Schedule_result& a,
+                                 const Schedule_result& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].slots, b.groups[g].slots) << "group " << g;
+    EXPECT_EQ(a.groups[g].evm, b.groups[g].evm) << "group " << g;
+    EXPECT_EQ(a.groups[g].ber, b.groups[g].ber) << "group " << g;
+    EXPECT_EQ(a.groups[g].sigma2_hat, b.groups[g].sigma2_hat)
+        << "group " << g;
+    EXPECT_EQ(a.groups[g].cycles, b.groups[g].cycles) << "group " << g;
+    EXPECT_EQ(a.groups[g].deadline_misses, b.groups[g].deadline_misses)
+        << "group " << g;
+    EXPECT_TRUE(a.groups[g].latency == b.groups[g].latency) << "group " << g;
+  }
+  EXPECT_EQ(a.deadline_slots, b.deadline_slots);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.virtual_makespan_s, b.virtual_makespan_s);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  // The field-wise checks above give readable failures; the single-source
+  // helper (which bench_serve_latency's re-check also uses) must agree.
+  EXPECT_TRUE(a.deterministic_equal(b));
+}
+
+Sweep_grid small_grid() {
+  Sweep_grid g;
+  g.fft_sizes = {16, 64};
+  g.snr_db = {15, 25, 30};
+  g.slots_per_point = 2;
+  return g;
+}
+
+Traffic_config small_traffic(uint64_t n_slots = 16) {
+  Traffic_config cfg;
+  cfg.n_slots = n_slots;
+  cfg.base_seed = 11;
+  Traffic_cell a;
+  a.mu = 1;
+  a.fft_size = 64;
+  a.load = 0.7;
+  Traffic_cell b;
+  b.mu = 2;
+  b.fft_size = 16;
+  b.qam = phy::Qam::qpsk;
+  b.load = 1.2;
+  // Tight override (well under the cell's analytic service time) so the
+  // miss counters are exercised, not just zero.
+  b.budget_s = 5e-8;
+  cfg.cells = {a, b};
+  return cfg;
+}
+
+TEST(Scheduler, GridSourceBitIdenticalToPreRefactorSweepLoop) {
+  // The pre-refactor Sweep_runner semantics, reconstructed by hand: walk
+  // the grid in slot-index order, one scenario per slot from slot_config,
+  // executed on a single backend.  The scheduler must reproduce it bit for
+  // bit at 1, 2 and 8 workers.
+  const Sweep_grid grid = small_grid();
+  const auto points = grid.points();
+  const auto pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool(), {});
+  auto backend = runtime::make_backend("reference");
+  std::vector<runtime::Slot_result> legacy(grid.n_slots());
+  for (uint64_t i = 0; i < grid.n_slots(); ++i) {
+    const phy::Uplink_scenario sc(Sweep_runner::slot_config(
+        grid, points[i / grid.slots_per_point], i));
+    legacy[i] = pipeline.execute(sc, *backend);
+  }
+
+  for (const uint32_t workers : {1u, 2u, 8u}) {
+    Scheduler_options opt;
+    opt.workers = workers;
+    const auto res = Slot_scheduler(opt).run(Grid_source(grid));
+    expect_slots_identical(res.slots, legacy);
+  }
+}
+
+TEST(Scheduler, SweepRunnerWrapperMatchesSchedulerGroups) {
+  const Sweep_grid grid = small_grid();
+  Scheduler_options sopt;
+  sopt.workers = 2;
+  const auto sched = Slot_scheduler(sopt).run(Grid_source(grid));
+
+  runtime::Sweep_options wopt;
+  wopt.workers = 2;
+  const auto sweep = Sweep_runner(wopt).run(grid);
+  ASSERT_EQ(sweep.points.size(), sched.groups.size());
+  for (size_t p = 0; p < sweep.points.size(); ++p) {
+    EXPECT_EQ(sweep.points[p].evm, sched.groups[p].evm);
+    EXPECT_EQ(sweep.points[p].ber, sched.groups[p].ber);
+    EXPECT_EQ(sweep.points[p].sigma2_hat, sched.groups[p].sigma2_hat);
+    EXPECT_EQ(sweep.points[p].cycles, sched.groups[p].cycles);
+  }
+  expect_slots_identical(sweep.slots, sched.slots);
+}
+
+TEST(Scheduler, GridJobsAreBatchSemantics) {
+  const Grid_source src(small_grid());
+  ASSERT_EQ(src.n_slots(), 12u);
+  EXPECT_EQ(src.n_groups(), 6u);
+  for (uint64_t i = 0; i < src.n_slots(); ++i) {
+    const auto job = src.job(i);
+    EXPECT_EQ(job.arrival_s, 0.0);
+    EXPECT_EQ(job.budget_s, 0.0);  // batch jobs carry no deadline
+    EXPECT_EQ(job.group, i / 2);
+  }
+}
+
+TEST(Scheduler, TrafficAggregatesInvariantAcrossWorkersAndPipelining) {
+  const Traffic_source src(small_traffic());
+  Scheduler_options opt;
+  opt.workers = 1;
+  opt.pipelined = false;
+  const auto serial = Slot_scheduler(opt).run(src);
+  EXPECT_FALSE(serial.pipelined);
+  EXPECT_GT(serial.deadline_misses, 0u);  // the tight budget must bite
+  EXPECT_LT(serial.deadline_misses, serial.deadline_slots);
+
+  struct Case {
+    uint32_t workers;
+    bool pipelined;
+  };
+  for (const Case c : {Case{2, false}, Case{1, true}, Case{3, true}}) {
+    opt.workers = c.workers;
+    opt.pipelined = c.pipelined;
+    const auto res = Slot_scheduler(opt).run(src);
+    EXPECT_EQ(res.pipelined, c.pipelined);  // reference backend can split
+    expect_slots_identical(res.slots, serial.slots);
+    expect_aggregates_identical(res, serial);
+  }
+}
+
+TEST(Scheduler, SimBackendDeadlineAccountingWorkerInvariant) {
+  const Traffic_source src(small_traffic(4));
+  Scheduler_options opt;
+  opt.backend = "sim";
+  opt.clock_ghz = 0.02;  // scaled virtual clock: cycles vs. the mu budgets
+  opt.workers = 1;
+  const auto serial = Slot_scheduler(opt).run(src);
+  opt.workers = 2;
+  opt.pipelined = true;  // must silently fall back: sim cannot split
+  const auto parallel = Slot_scheduler(opt).run(src);
+  EXPECT_FALSE(parallel.pipelined);
+  EXPECT_GT(serial.total_cycles, 0u);
+  expect_slots_identical(parallel.slots, serial.slots);
+  expect_aggregates_identical(parallel, serial);
+}
+
+TEST(Scheduler, SplitBackendsMatchRunSlot) {
+  // run_back(run_front()) == run_slot on both host backends - the bit
+  // contract stage pipelining rests on.
+  const auto cluster = arch::Cluster_config::minipool();
+  const auto pipeline = runtime::uplink_pipeline(cluster, {});
+  const phy::Uplink_scenario sc(
+      Sweep_runner::slot_config(small_grid(), small_grid().points()[1], 3));
+  for (const char* name : {"reference", "parallel"}) {
+    auto whole = runtime::make_backend(name, 2);
+    auto split = runtime::make_backend(name, 2);
+    ASSERT_TRUE(whole->can_split()) << name;
+    const auto a = whole->run_slot(pipeline, sc);
+    const auto b =
+        split->run_back(pipeline, sc, split->run_front(pipeline, sc));
+    EXPECT_EQ(a.bits, b.bits) << name;
+    EXPECT_EQ(a.evm, b.evm) << name;
+    EXPECT_EQ(a.ber, b.ber) << name;
+    EXPECT_EQ(a.sigma2_hat, b.sigma2_hat) << name;
+  }
+  EXPECT_FALSE(runtime::make_backend("sim")->can_split());
+}
+
+TEST(Scheduler, AnalyticServiceModelIsPureAndClockScaled) {
+  const auto cfg =
+      Sweep_runner::slot_config(small_grid(), small_grid().points()[0], 0);
+  const auto cluster = arch::Cluster_config::minipool();
+  const double s1 = runtime::analytic_service_seconds(cfg, cluster, 1.0);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_EQ(s1, runtime::analytic_service_seconds(cfg, cluster, 1.0));
+  // Half the clock, twice the service time - exactly (both are powers of 2).
+  EXPECT_EQ(runtime::analytic_service_seconds(cfg, cluster, 0.5), 2.0 * s1);
+}
+
+TEST(Scheduler, KeepSlotsOffDropsPerSlotResultsOnly) {
+  const Traffic_source src(small_traffic(8));
+  Scheduler_options opt;
+  opt.workers = 2;
+  opt.keep_slots = false;
+  const auto res = Slot_scheduler(opt).run(src);
+  EXPECT_TRUE(res.slots.empty());
+  EXPECT_EQ(res.total_slots, 8u);
+  EXPECT_EQ(res.latency.count(), 8u);
+  uint32_t slots = 0;
+  for (const auto& g : res.groups) slots += g.slots;
+  EXPECT_EQ(slots, 8u);
+}
+
+TEST(Scheduler, EmptySourceYieldsEmptyResult) {
+  Traffic_config cfg = small_traffic();
+  cfg.n_slots = 0;
+  const auto res = Slot_scheduler(Scheduler_options{}).run(Traffic_source(cfg));
+  EXPECT_EQ(res.total_slots, 0u);
+  EXPECT_EQ(res.latency.count(), 0u);
+  EXPECT_EQ(res.deadline_misses, 0u);
+  ASSERT_EQ(res.groups.size(), 2u);  // cells still listed, zero slots each
+  EXPECT_EQ(res.groups[0].slots, 0u);
+  EXPECT_EQ(res.slots_per_second(), 0.0);
+}
+
+TEST(Scheduler, RendersTableWithLatencyFooter) {
+  const auto res = Slot_scheduler(Scheduler_options{}).run(Traffic_source(small_traffic(6)));
+  const std::string table = res.str();
+  EXPECT_NE(table.find("miss/dl"), std::string::npos);
+  EXPECT_NE(table.find("virtual clock"), std::string::npos);
+  EXPECT_NE(table.find("deadline misses"), std::string::npos);
+}
+
+}  // namespace

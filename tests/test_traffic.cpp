@@ -1,0 +1,122 @@
+// Traffic_source determinism: seed derivation, prefix stability under a
+// longer trace, arrival-order invariants, and the multi-cell mix.
+#include <gtest/gtest.h>
+
+#include "runtime/traffic.h"
+
+namespace {
+
+using namespace pp;
+using runtime::Traffic_cell;
+using runtime::Traffic_config;
+using runtime::Traffic_source;
+
+Traffic_config two_cell_config(uint64_t n_slots) {
+  Traffic_config cfg;
+  cfg.n_slots = n_slots;
+  cfg.base_seed = 7;
+  Traffic_cell a;
+  a.mu = 1;
+  a.fft_size = 64;
+  a.load = 0.8;
+  Traffic_cell b;
+  b.mu = 0;
+  b.fft_size = 256;
+  b.n_ue = 4;
+  b.qam = phy::Qam::qam64;
+  b.load = 0.4;
+  cfg.cells = {a, b};
+  return cfg;
+}
+
+void expect_same_job(const runtime::Slot_job& x, const runtime::Slot_job& y) {
+  EXPECT_EQ(x.index, y.index);
+  EXPECT_EQ(x.group, y.group);
+  EXPECT_EQ(x.arrival_s, y.arrival_s);
+  EXPECT_EQ(x.budget_s, y.budget_s);
+  EXPECT_EQ(x.cfg.seed, y.cfg.seed);
+  EXPECT_EQ(x.cfg.fft_size, y.cfg.fft_size);
+  EXPECT_EQ(x.cfg.n_ue, y.cfg.n_ue);
+  EXPECT_EQ(x.cfg.qam, y.cfg.qam);
+  EXPECT_EQ(x.cfg.sigma2, y.cfg.sigma2);
+}
+
+TEST(Traffic, SlotSeedsFollowTheDerivationContract) {
+  const Traffic_source src(two_cell_config(32));
+  for (uint64_t i = 0; i < src.n_slots(); ++i) {
+    EXPECT_EQ(src.job(i).cfg.seed, common::Rng::derive_seed(7, i));
+    EXPECT_EQ(src.job(i).index, i);
+  }
+}
+
+TEST(Traffic, ExtendingTheTraceDoesNotReshuffleEarlierSlots) {
+  // The load-bearing stability property: growing n_slots only appends -
+  // every earlier job keeps its cell, arrival time, seed and config.
+  const Traffic_source small(two_cell_config(12));
+  const Traffic_source large(two_cell_config(48));
+  ASSERT_EQ(small.n_slots(), 12u);
+  ASSERT_EQ(large.n_slots(), 48u);
+  for (uint64_t i = 0; i < small.n_slots(); ++i) {
+    expect_same_job(small.job(i), large.job(i));
+  }
+}
+
+TEST(Traffic, RebuildIsDeterministic) {
+  const Traffic_source a(two_cell_config(24));
+  const Traffic_source b(two_cell_config(24));
+  for (uint64_t i = 0; i < a.n_slots(); ++i) {
+    expect_same_job(a.job(i), b.job(i));
+  }
+}
+
+TEST(Traffic, ArrivalsNonDecreasingAndBudgetsMatchNumerology) {
+  const Traffic_source src(two_cell_config(64));
+  double prev = 0.0;
+  for (uint64_t i = 0; i < src.n_slots(); ++i) {
+    const auto job = src.job(i);
+    EXPECT_GE(job.arrival_s, prev) << "slot " << i;
+    prev = job.arrival_s;
+    // Budget = the cell's numerology slot duration (no override set).
+    const double want = job.group == 0 ? phy::slot_budget_seconds(1)
+                                       : phy::slot_budget_seconds(0);
+    EXPECT_EQ(job.budget_s, want) << "slot " << i;
+  }
+}
+
+TEST(Traffic, CellMixMatchesConfiguredJobs) {
+  // Both cells contribute, the per-cell configs flow through, and the
+  // budget override wins when set.
+  Traffic_config cfg = two_cell_config(64);
+  cfg.cells[1].budget_s = 123e-6;
+  const Traffic_source src(cfg);
+  uint64_t per_cell[2] = {0, 0};
+  for (uint64_t i = 0; i < src.n_slots(); ++i) {
+    const auto job = src.job(i);
+    ASSERT_LT(job.group, 2u);
+    ++per_cell[job.group];
+    if (job.group == 0) {
+      EXPECT_EQ(job.cfg.fft_size, 64u);
+      EXPECT_EQ(job.cfg.n_ue, 2u);
+    } else {
+      EXPECT_EQ(job.cfg.fft_size, 256u);
+      EXPECT_EQ(job.cfg.n_ue, 4u);
+      EXPECT_EQ(job.cfg.qam, phy::Qam::qam64);
+      EXPECT_EQ(job.budget_s, 123e-6);
+    }
+  }
+  EXPECT_GT(per_cell[0], 0u);
+  EXPECT_GT(per_cell[1], 0u);
+  // Cell 0 runs at 2x the per-slot load of cell 1 on a half-length slot,
+  // so it should dominate the trace.
+  EXPECT_GT(per_cell[0], per_cell[1]);
+}
+
+TEST(Traffic, GroupLabelsNameTheCells) {
+  Traffic_config cfg = two_cell_config(4);
+  cfg.cells[0].name = "macro";
+  const Traffic_source src(cfg);
+  EXPECT_EQ(src.group_label(0), "macro");
+  EXPECT_NE(src.group_label(1).find("fft256"), std::string::npos);
+}
+
+}  // namespace
