@@ -132,9 +132,12 @@ inline void print_catalog() {
   std::printf("\nbackends (--backend):\n");
   for (const auto& name : runtime::backend_names()) {
     const auto b = runtime::make_backend(name, 1);
-    std::printf("  %-10s %s%s\n", name.c_str(),
-                b->cycle_accurate() ? "cycle-accurate simulated cluster"
-                                    : "double-precision host models",
+    const char* what = b->cycle_accurate()
+                           ? "cycle-accurate simulated cluster"
+                           : (name == "fixed"
+                                  ? "bit-exact Q1.15 host kernels (== sim)"
+                                  : "double-precision host models");
+    std::printf("  %-10s %s%s\n", name.c_str(), what,
                 b->can_split() ? ", stage-splittable" : "");
   }
   std::printf("\npipeline presets:\n");

@@ -10,13 +10,15 @@
 //   parallel   the host models split across --intra workers (default 1,
 //              0 = all hardware threads - same default as pusch_sweep);
 //              bits equal to reference by contract (docs/DETERMINISM.md)
+//   fixed      the sim backend's Q15 kernel math on the host worker pool;
+//              bit-identical to sim (same EVM/BER/sigma2_hat) at host speed
 //
 // With --backend both (the default) the same Pipeline call runs on the sim
 // and reference backends and the recovered payloads are cross-checked;
-// --backend all adds the parallel backend to the cross-check.
+// --backend all adds the parallel and fixed backends to the cross-check.
 //
 //   ./examples/pusch_uplink_e2e [--arch mempool|terapool] [--ue N]
-//       [--qam 16] [--backend sim|reference|parallel|both|all]
+//       [--qam 16] [--backend sim|reference|parallel|fixed|both|all]
 //       [--intra N] [--chol-batch N] [--list]
 //
 // --list prints the registered clusters, backends, pipeline presets and
@@ -74,19 +76,20 @@ int main(int argc, char** argv) {
 
   const std::string which = cli.get("--backend", "both");
   if (which != "sim" && which != "reference" && which != "parallel" &&
-      which != "both" && which != "all") {
+      which != "fixed" && which != "both" && which != "all") {
     std::fprintf(stderr,
-                 "unknown --backend %s (sim|reference|parallel|both|all; "
-                 "see --list)\n",
+                 "unknown --backend %s (sim|reference|parallel|fixed|both|"
+                 "all; see --list)\n",
                  which.c_str());
     return 2;
   }
   const uint32_t intra = cli.get_u32("--intra", 1);
   std::vector<runtime::Slot_result> results;
-  for (const auto* name : {"reference", "sim", "parallel"}) {
+  for (const auto* name : {"reference", "sim", "parallel", "fixed"}) {
     const bool selected =
         which == name || which == "all" ||
-        (which == "both" && std::string(name) != "parallel");
+        (which == "both" &&
+         (std::string(name) == "sim" || std::string(name) == "reference"));
     if (!selected) continue;
     auto backend = runtime::make_backend(name, intra);
     results.push_back(pipeline.execute(sc, *backend));

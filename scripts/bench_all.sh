@@ -70,6 +70,9 @@ run bench_throughput_sweep bench_throughput_sweep \
     --slots 1 --snr-points 2 --fft 64,256
 run bench_parallel_scaling bench_parallel_scaling \
     --workers 1,2 --fft 256 --ffts 8 --rows 256 --batches 128
+# Fixed-point host backend: Q15 scalar vs. SIMD vs. double reference; the
+# wall times are host-dependent, the scalar/SIMD parity bit gates.
+run bench_fixed_host bench_fixed_host --fft 256 --symb 4
 # Streaming deadline latency at a fixed simulated load: slot counts, miss
 # counts and virtual-clock percentiles are deterministic and gate the
 # baseline.

@@ -10,8 +10,12 @@
 # CI entry point; exits non-zero on any failure.
 #
 # CHECK_TSAN=1 additionally builds the concurrency tests (slot scheduler,
-# sweep engine, traffic source, shared lazy tables, parallel backend) under
-# ThreadSanitizer in a separate build tree and runs them.
+# sweep engine, traffic source, shared lazy tables, parallel + fixed
+# backends) under ThreadSanitizer in a separate build tree and runs them.
+#
+# CHECK_UBSAN=1 additionally builds the fixed-point arithmetic, kernel and
+# fixed-backend tests under UndefinedBehaviorSanitizer (the Q15 layer's
+# saturation corners are exactly where signed-overflow UB would hide).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,14 +55,17 @@ echo "all markdown links resolve"
 echo "--- smoke: examples/quickstart ---"
 "$BUILD_DIR"/examples/quickstart
 
-echo "--- smoke: 2-worker scenario sweep (small grid, all three backends) ---"
+echo "--- smoke: 2-worker scenario sweep (small grid, all four backends) ---"
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --backend sim --fft 64 --snr 20
 "$BUILD_DIR"/examples/pusch_sweep --workers 1 --backend parallel --intra 2 \
     --fft 16,64 --snr 10,20,30
+"$BUILD_DIR"/examples/pusch_sweep --workers 1 --backend fixed --intra 2 \
+    --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/bench/bench_throughput_sweep --slots 1 --snr-points 2
 "$BUILD_DIR"/bench/bench_parallel_scaling --workers 1,2 --fft 256 --ffts 8 \
     --rows 256 --batches 128
+"$BUILD_DIR"/bench/bench_fixed_host --fft 256 --symb 4
 
 echo "--- smoke: streaming traffic engine (pusch_serve + --list) ---"
 # Stage-pipelined streaming on the host models, the sim backend's
@@ -98,10 +105,24 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_sweep test_thread_safety test_rng test_backend_parallel \
-             test_scheduler test_traffic
+             test_backend_fixed test_scheduler test_traffic
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
     -j "$JOBS" \
-    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|Scheduler|Traffic'
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic'
+fi
+
+if [[ "${CHECK_UBSAN:-0}" == "1" ]]; then
+  echo "--- opt-in: UndefinedBehaviorSanitizer build of the Q15/kernel tests ---"
+  UBSAN_DIR="${BUILD_DIR}-ubsan"
+  cmake -B "$UBSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build "$UBSAN_DIR" -j "$JOBS" \
+    --target test_fixed_point test_fft test_mmm test_cholesky test_che_ne \
+             test_gram test_backend_fixed
+  ctest --test-dir "$UBSAN_DIR" --output-on-failure --no-tests=error \
+    -j "$JOBS" \
+    -R 'Q15|Cq15|Isqrt|Rng|Fft|Mmm|Chol|Trisolve|Che|Ne|Gram|FixedBackend'
 fi
 
 echo "check.sh: all green"

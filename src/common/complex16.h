@@ -65,12 +65,16 @@ constexpr cq15 cmul_mj(cq15 a) {
 }
 
 // Complex multiply with rounding on each component (two dotp-style ops).
+// The cross-product sums are kept in 64 bits: the imaginary sum reaches
+// exactly +2^31 when both operands are {-0x8000, -0x8000}, one past what an
+// int32 holds (the real sum stays inside [-2^31+2^15, 2^31-2^15] because a
+// negative product can be at most 0x8000 * 0x7fff in magnitude).
 constexpr cq15 cmul(cq15 a, cq15 b) {
-  const int32_t rr = static_cast<int32_t>(a.re) * b.re - static_cast<int32_t>(a.im) * b.im;
-  const int32_t ii = static_cast<int32_t>(a.re) * b.im + static_cast<int32_t>(a.im) * b.re;
-  constexpr int32_t half = 1 << (q15_frac_bits - 1);
-  return cq15{sat16((static_cast<int64_t>(rr) + half) >> q15_frac_bits),
-              sat16((static_cast<int64_t>(ii) + half) >> q15_frac_bits)};
+  const int64_t rr = static_cast<int64_t>(a.re) * b.re - static_cast<int64_t>(a.im) * b.im;
+  const int64_t ii = static_cast<int64_t>(a.re) * b.im + static_cast<int64_t>(a.im) * b.re;
+  constexpr int64_t half = 1 << (q15_frac_bits - 1);
+  return cq15{sat16((rr + half) >> q15_frac_bits),
+              sat16((ii + half) >> q15_frac_bits)};
 }
 
 // Divide each component by 2 / by 4 (radix-2/4 stage scaling).

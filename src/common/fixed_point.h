@@ -28,8 +28,12 @@ constexpr int16_t sat16(int64_t v) {
 }
 
 // Convert a real number in [-1, 1) to Q1.15 with rounding and saturation.
+// Rounds half away from zero.  Out-of-range magnitudes saturate on the
+// double side, so the double -> int64 cast below never overflows (UB).
 constexpr int16_t to_q15(double x) {
   const double scaled = x * static_cast<double>(q15_one);
+  if (scaled >= static_cast<double>(q15_max)) return q15_max;
+  if (scaled <= static_cast<double>(q15_min)) return q15_min;
   const int64_t r = static_cast<int64_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
   return sat16(r);
 }

@@ -1,0 +1,184 @@
+#include "fixed/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PP_FIXED_X86 1
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace pp::fixed {
+
+#if defined(PP_FIXED_X86)
+
+namespace {
+
+bool avx2_supported() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+// Named load/store helpers: lambdas would not inherit the enclosing
+// function's target("avx2") attribute and fail to inline.
+__attribute__((target("avx2"))) inline __m256i ld256(const cq15* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+__attribute__((target("avx2"))) inline void st256(cq15* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+// 8 packed complex Q1.15 multiplies: exact widened 32-bit cross products,
+// +2^14, >>15, saturating pack - the same value chain as common::cmul.
+// The single wrap case (imag sum = +2^31, only when both operands are
+// {-0x8000, -0x8000}) is patched with a branchless blend to the scalar
+// result {0, 0x7fff}; every other sum fits an int32 (see common::cmul).
+__attribute__((target("avx2"))) inline __m256i cmul8(__m256i a, __m256i b) {
+  const __m256i a_re = _mm256_srai_epi32(_mm256_slli_epi32(a, 16), 16);
+  const __m256i a_im = _mm256_srai_epi32(a, 16);
+  const __m256i b_re = _mm256_srai_epi32(_mm256_slli_epi32(b, 16), 16);
+  const __m256i b_im = _mm256_srai_epi32(b, 16);
+  __m256i rr = _mm256_sub_epi32(_mm256_mullo_epi32(a_re, b_re),
+                                _mm256_mullo_epi32(a_im, b_im));
+  __m256i ii = _mm256_add_epi32(_mm256_mullo_epi32(a_re, b_im),
+                                _mm256_mullo_epi32(a_im, b_re));
+  const __m256i half = _mm256_set1_epi32(1 << 14);
+  rr = _mm256_srai_epi32(_mm256_add_epi32(rr, half), 15);
+  ii = _mm256_srai_epi32(_mm256_add_epi32(ii, half), 15);
+  // packs gives [rr0..3, ii0..3] int16 per 128-bit lane (saturating, i.e.
+  // sat16); re-interleave to the packed {re, im} layout.
+  const __m256i packed = _mm256_packs_epi32(rr, ii);
+  const __m256i interleave = _mm256_setr_epi8(
+      0, 1, 8, 9, 2, 3, 10, 11, 4, 5, 12, 13, 6, 7, 14, 15,  //
+      0, 1, 8, 9, 2, 3, 10, 11, 4, 5, 12, 13, 6, 7, 14, 15);
+  const __m256i res = _mm256_shuffle_epi8(packed, interleave);
+  const __m256i min_min = _mm256_set1_epi32(static_cast<int>(0x80008000u));
+  const __m256i corner = _mm256_and_si256(_mm256_cmpeq_epi32(a, min_min),
+                                          _mm256_cmpeq_epi32(b, min_min));
+  return _mm256_blendv_epi8(res, _mm256_set1_epi32(0x7fff0000), corner);
+}
+
+// 8 packed -j rotations: {re, im} -> {im, sat16(-re)} (common::cmul_mj).
+__attribute__((target("avx2"))) inline __m256i cmul_mj8(__m256i a) {
+  const __m256i swap = _mm256_setr_epi8(
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,  //
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  const __m256i swapped = _mm256_shuffle_epi8(a, swap);
+  const __m256i negated = _mm256_subs_epi16(_mm256_setzero_si256(), swapped);
+  return _mm256_blend_epi16(swapped, negated, 0xAA);
+}
+
+__attribute__((target("avx2"))) uint32_t cmul_double_avx2(const cq15* y,
+                                                          cq15 x, cq15* out,
+                                                          uint32_t n) {
+  const uint32_t n8 = n & ~7u;
+  const __m256i xv =
+      _mm256_set1_epi32(static_cast<int>(common::pack_cq15(x)));
+  for (uint32_t i = 0; i < n8; i += 8) {
+    const __m256i yv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i t = cmul8(yv, xv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_adds_epi16(t, t));
+  }
+  return n8;
+}
+
+__attribute__((target("avx2"))) uint32_t butterfly_avx2(cq15* p0, uint32_t d,
+                                                        const cq15* tw1,
+                                                        const cq15* tw2,
+                                                        const cq15* tw3,
+                                                        uint32_t len) {
+  const uint32_t n8 = len & ~7u;
+  for (uint32_t i = 0; i < n8; i += 8) {
+    // 1/4 pre-scale (per-lane arithmetic shift == common::cquarter).
+    const __m256i x0 = _mm256_srai_epi16(ld256(p0 + i), 2);
+    const __m256i x1 = _mm256_srai_epi16(ld256(p0 + d + i), 2);
+    const __m256i x2 = _mm256_srai_epi16(ld256(p0 + 2 * d + i), 2);
+    const __m256i x3 = _mm256_srai_epi16(ld256(p0 + 3 * d + i), 2);
+    const __m256i a = _mm256_adds_epi16(x0, x2);
+    const __m256i c = _mm256_subs_epi16(x0, x2);
+    const __m256i b = _mm256_adds_epi16(x1, x3);
+    const __m256i dd = _mm256_subs_epi16(x1, x3);
+    const __m256i dj = cmul_mj8(dd);
+    const __m256i o0 = _mm256_adds_epi16(a, b);
+    __m256i o1 = _mm256_adds_epi16(c, dj);
+    __m256i o2 = _mm256_subs_epi16(a, b);
+    __m256i o3 = _mm256_subs_epi16(c, dj);
+    o1 = cmul8(o1, ld256(tw1 + i));
+    o2 = cmul8(o2, ld256(tw2 + i));
+    o3 = cmul8(o3, ld256(tw3 + i));
+    st256(p0 + i, o0);
+    st256(p0 + d + i, o1);
+    st256(p0 + 2 * d + i, o2);
+    st256(p0 + 3 * d + i, o3);
+  }
+  return n8;
+}
+
+}  // namespace
+
+bool simd_available() { return avx2_supported(); }
+const char* simd_isa() { return avx2_supported() ? "avx2" : "scalar"; }
+
+uint32_t cmul_double_prefix(const cq15* y, cq15 x, cq15* out, uint32_t n) {
+  if (!avx2_supported()) return 0;
+  return cmul_double_avx2(y, x, out, n);
+}
+
+uint32_t butterfly_prefix(cq15* p0, uint32_t d, const cq15* tw1,
+                          const cq15* tw2, const cq15* tw3, uint32_t len) {
+  if (!avx2_supported() || d < 8) return 0;
+  return butterfly_avx2(p0, d, tw1, tw2, tw3, len);
+}
+
+#elif defined(__ARM_NEON)
+
+bool simd_available() { return true; }
+const char* simd_isa() { return "neon"; }
+
+uint32_t cmul_double_prefix(const cq15* y, cq15 x, cq15* out, uint32_t n) {
+  // The one cmul wrap case needs both operands at {-0x8000, -0x8000}; x is
+  // uniform here, so one scalar check rules it out for the whole loop.
+  if (x.re == common::q15_min && x.im == common::q15_min) return 0;
+  const uint32_t n4 = n & ~3u;
+  const int32x4_t half = vdupq_n_s32(1 << 14);
+  for (uint32_t i = 0; i < n4; i += 4) {
+    const int16x4x2_t yv =
+        vld2_s16(reinterpret_cast<const int16_t*>(y + i));  // re / im lanes
+    int32x4_t rr = vmull_n_s16(yv.val[0], x.re);
+    rr = vmlsl_n_s16(rr, yv.val[1], x.im);
+    int32x4_t ii = vmull_n_s16(yv.val[0], x.im);
+    ii = vmlal_n_s16(ii, yv.val[1], x.re);
+    rr = vshrq_n_s32(vaddq_s32(rr, half), 15);
+    ii = vshrq_n_s32(vaddq_s32(ii, half), 15);
+    int16x4x2_t t;
+    t.val[0] = vqmovn_s32(rr);  // saturating narrow == sat16
+    t.val[1] = vqmovn_s32(ii);
+    t.val[0] = vqadd_s16(t.val[0], t.val[0]);  // doubling, saturating
+    t.val[1] = vqadd_s16(t.val[1], t.val[1]);
+    vst2_s16(reinterpret_cast<int16_t*>(out + i), t);
+  }
+  return n4;
+}
+
+uint32_t butterfly_prefix(cq15*, uint32_t, const cq15*, const cq15*,
+                          const cq15*, uint32_t) {
+  return 0;  // scalar butterflies on NEON hosts
+}
+
+#else
+
+bool simd_available() { return false; }
+const char* simd_isa() { return "scalar"; }
+
+uint32_t cmul_double_prefix(const cq15*, cq15, cq15*, uint32_t) { return 0; }
+
+uint32_t butterfly_prefix(cq15*, uint32_t, const cq15*, const cq15*,
+                          const cq15*, uint32_t) {
+  return 0;
+}
+
+#endif
+
+}  // namespace pp::fixed

@@ -1,0 +1,55 @@
+// Feature-detected SIMD variants of the hot Q1.15 inner loops.
+//
+// The vector paths are *bit-identical* to the scalar Q15 layer - they are an
+// implementation detail, never a numerics change (pinned by
+// tests/test_backend_fixed.cpp scalar/SIMD parity).  The mapping:
+//
+//   add_q15/sub_q15      saturating 16-bit adds (vpaddsw / vqaddq_s16)
+//   cquarter             per-lane arithmetic shift (vpsraw)
+//   cmul                 widened 32-bit products, +2^14, >>15, saturating
+//                        pack (the one wrap case - both operands
+//                        {-0x8000,-0x8000} - is patched by a branchless
+//                        blend to match the 64-bit scalar semantics)
+//   cmul_mj              16-bit lane swap + saturating negate + blend
+//
+// x86 code is compiled with per-function target("avx2") attributes and
+// gated at run time by __builtin_cpu_supports, so the build needs no
+// -mavx2 flag and the binary still runs on pre-AVX2 hosts.  On AArch64 the
+// elementwise CHE op uses NEON (always available); the butterfly falls back
+// to scalar there.
+#ifndef PUSCHPOOL_FIXED_SIMD_H
+#define PUSCHPOOL_FIXED_SIMD_H
+
+#include <cstdint>
+
+#include "common/complex16.h"
+
+namespace pp::fixed {
+
+using common::cq15;
+
+// True when a vector path exists on this machine (AVX2 detected at run time,
+// or NEON compiled in).  When false, the SIMD entry points below process 0
+// elements and the callers' scalar tails do all the work.
+bool simd_available();
+
+// "avx2", "neon" or "scalar" - what simd_available() resolved to (bench and
+// banner reporting).
+const char* simd_isa();
+
+// out[i] = cadd(t, t) with t = cmul(y[i], x): the per-(sub-carrier, UE)
+// CHE beam row (doubling folds the pilot |x|^2 = 1/2).  Processes a prefix
+// of [0, n) and returns its length; the caller finishes the tail scalar.
+uint32_t cmul_double_prefix(const cq15* y, cq15 x, cq15* out, uint32_t n);
+
+// `len` consecutive radix-4 DIF butterflies at element distance d: port j of
+// butterfly i lives at p0[i + j*d], twiddles for output port m at twm[i]
+// (the Fft_plan per-stage layout).  Only non-final stages (twiddled, stored
+// in place) are vectorized; requires d >= the vector width or processes 0.
+// Returns the number of butterflies handled; the caller finishes scalar.
+uint32_t butterfly_prefix(cq15* p0, uint32_t d, const cq15* tw1,
+                          const cq15* tw2, const cq15* tw3, uint32_t len);
+
+}  // namespace pp::fixed
+
+#endif  // PUSCHPOOL_FIXED_SIMD_H

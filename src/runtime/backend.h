@@ -1,7 +1,7 @@
 // Pluggable execution backends for functional pipeline runs.
 //
 // A Backend takes a Pipeline description plus an uplink scenario and
-// produces a Slot_result.  Three implementations exist:
+// produces a Slot_result.  Four implementations exist:
 //
 //   Sim_backend        the cycle-approximate fixed-point kernels on the
 //                      simulated many-core cluster (pipeline.cluster());
@@ -13,9 +13,13 @@
 //                      the paper's per-kernel decomposition; bit-identical
 //                      to Reference_backend at any worker count
 //                      (backend_parallel.h)
+//   Fixed_backend      the sim backend's Q1.15 kernel math (src/fixed/) on a
+//                      host worker pool with optional SIMD; **bit-identical**
+//                      to Sim_backend - same payload bits, EVM/BER and
+//                      sigma2_hat - at host speed (backend_fixed.h)
 //
 // All emit the same Slot_result, so a single scenario can be scored on the
-// simulator and on either host path through the same Pipeline::execute()
+// simulator and on any host path through the same Pipeline::execute()
 // call.
 #ifndef PUSCHPOOL_RUNTIME_BACKEND_H
 #define PUSCHPOOL_RUNTIME_BACKEND_H
@@ -85,9 +89,9 @@ class Reference_backend final : public Backend {
 void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
                            Slot_result& out);
 
-// "sim", "reference" or "parallel"; aborts on anything else.  `intra` is
-// the intra-slot worker count of the "parallel" backend (0 = one worker per
-// hardware thread) and is ignored by the other two.
+// "sim", "reference", "parallel" or "fixed"; aborts on anything else.
+// `intra` is the intra-slot worker count of the "parallel" and "fixed"
+// backends (0 = one worker per hardware thread) and is ignored by the rest.
 std::unique_ptr<Backend> make_backend(std::string_view name,
                                       uint32_t intra = 0);
 

@@ -1,0 +1,314 @@
+// Fixed-point host slot execution, bit-identical to the sim backend.
+//
+// This file replays backend_sim.cpp's host marshaling line by line - the
+// same quantize/dequantize round-trips at the same block-rescaling factors,
+// the same per-symbol loop structure, the same EVM/BER epilogue order - and
+// substitutes each simulated kernel launch with the host Q15 kernels of
+// src/fixed/.  Any change to the sim backend's marshaling must be mirrored
+// here (tests/test_backend_fixed.cpp pins the bit-exact contract across a
+// scenario grid, worker counts and the split/pipelined path).
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fixed/q15_kernels.h"
+#include "fixed/simd.h"
+#include "runtime/backend_fixed.h"
+
+namespace pp::runtime {
+
+namespace {
+
+using common::cq15;
+using common::Thread_pool;
+using phy::cd;
+
+std::vector<cq15> quantize(const std::vector<cd>& x, double scale) {
+  std::vector<cq15> q(x.size());
+  for (size_t i = 0; i < x.size(); ++i) q[i] = common::to_cq15(x[i] * scale);
+  return q;
+}
+
+std::vector<cd> dequantize(const std::vector<cq15>& q, double scale) {
+  std::vector<cd> x(q.size());
+  for (size_t i = 0; i < q.size(); ++i) x[i] = common::to_cd(q[i]) / scale;
+  return x;
+}
+
+const Stage_spec& require(const Pipeline& p, Stage_role role,
+                          const char* what) {
+  const Stage_spec* s = p.find(role);
+  PP_CHECK(s != nullptr && !s->run.kernel.empty(), what);
+  return *s;
+}
+
+}  // namespace
+
+bool Fixed_backend::simd_active() const {
+  return simd_ && fixed::simd_available();
+}
+
+Slot_result Fixed_backend::run_slot(const Pipeline& p,
+                                    const phy::Uplink_scenario& sc) {
+  return run_back(p, sc, run_front(p, sc));
+}
+
+Slot_front Fixed_backend::run_front(const Pipeline& p,
+                                    const phy::Uplink_scenario& sc) {
+  const auto& cfg = sc.config();
+  PP_CHECK(cfg.n_sc == cfg.fft_size,
+           "fixed backend assumes all FFT bins are active sub-carriers");
+  const uint32_t n = cfg.fft_size;
+  const Stage_spec& fft_spec =
+      require(p, Stage_role::fft, "pipeline needs an fft stage");
+  const Stage_spec& bf_spec =
+      require(p, Stage_role::beamform, "pipeline needs a beamform stage");
+  const double s_time = fft_spec.rescale;
+  const double s_grid = bf_spec.rescale;
+  // The kernel computes FFT/N of the s_time-scaled samples and the
+  // transmitter normalized time by 1/sqrt(N) (same comment as backend_sim).
+  const double ds = s_time / std::sqrt(static_cast<double>(n));
+  const fixed::Fft_plan& plan = fixed::fft_plan(n);
+  const bool simd = simd_active();
+  const uint32_t workers = pool_.workers();
+
+  // Quantized beamforming codebook (n_rx x n_beams), reused every symbol.
+  std::vector<cq15> bq(sc.codebook().size());
+  for (size_t i = 0; i < bq.size(); ++i) {
+    bq[i] = common::to_cq15(sc.codebook()[i]);
+  }
+
+  // Frequency grids per (symbol, antenna) in true (unscaled) units.
+  std::vector<std::vector<std::vector<cd>>> freq(cfg.n_symb);
+  for (auto& fs : freq) {
+    fs.resize(cfg.n_rx);
+    for (auto& fr : fs) fr.resize(n);
+  }
+  Slot_front front;
+  front.beams.resize(cfg.n_symb);
+  for (auto& b : front.beams) b.resize(static_cast<size_t>(n) * cfg.n_beams);
+
+  const uint64_t n_fft = static_cast<uint64_t>(cfg.n_symb) * cfg.n_rx;
+  common::Counting_barrier bar(workers);
+
+  // Beamforming rows: one (symbol, sub-carrier) output row of the MMM per
+  // item - gather the quantized sub-carrier row, exact MAC against the
+  // codebook, dequantize.  Element-for-element the arithmetic of the sim
+  // backend's whole-matrix quantize -> MMM -> dequantize sequence.
+  auto mmm_rows_phase = [&](uint32_t w) {
+    std::vector<cq15> aq(cfg.n_rx), crow(cfg.n_beams);
+    const auto [r0, r1] =
+        Thread_pool::slice(static_cast<uint64_t>(cfg.n_symb) * n, w, workers);
+    for (uint64_t item = r0; item < r1; ++item) {
+      const uint32_t s = static_cast<uint32_t>(item / n);
+      const uint32_t scx = static_cast<uint32_t>(item % n);
+      for (uint32_t r = 0; r < cfg.n_rx; ++r) {
+        aq[r] = common::to_cq15(freq[s][r][scx] * s_grid);
+      }
+      fixed::mmm_rows(aq.data(), bq.data(), crow.data(), cfg.n_rx,
+                      cfg.n_beams, 0, 1);
+      for (uint32_t q = 0; q < cfg.n_beams; ++q) {
+        front.beams[s][static_cast<size_t>(scx) * cfg.n_beams + q] =
+            common::to_cd(crow[q]) / s_grid;
+      }
+    }
+  };
+
+  if (n_fft >= workers) {
+    // Enough transforms to hand each worker its own.
+    pool_.run([&](uint32_t w) {
+      std::vector<cq15> buf(n), fout(n);
+      const auto [f0, f1] = Thread_pool::slice(n_fft, w, workers);
+      for (uint64_t t = f0; t < f1; ++t) {
+        const uint32_t s = static_cast<uint32_t>(t / cfg.n_rx);
+        const uint32_t r = static_cast<uint32_t>(t % cfg.n_rx);
+        const auto& x = sc.antenna_time(s, r);
+        for (uint32_t i = 0; i < n; ++i) {
+          buf[i] = common::to_cq15(x[i] * s_time);
+        }
+        fixed::fft_transform(plan, buf.data(), fout.data(), simd);
+        for (uint32_t i = 0; i < n; ++i) {
+          freq[s][r][i] = common::to_cd(fout[i]) / ds;
+        }
+      }
+      bar.arrive_and_wait();
+      mmm_rows_phase(w);
+    });
+  } else {
+    // Cooperative FFT: every transform is tiled across all workers,
+    // butterfly ranges per stage with a barrier in between (each stage's
+    // butterflies touch disjoint elements).
+    std::vector<cq15> buf(n), fout(n);
+    pool_.run([&](uint32_t w) {
+      const auto [e0, e1] = Thread_pool::slice(n, w, workers);
+      const auto [g0, g1] = Thread_pool::slice(n / 4, w, workers);
+      for (uint64_t t = 0; t < n_fft; ++t) {
+        const uint32_t s = static_cast<uint32_t>(t / cfg.n_rx);
+        const uint32_t r = static_cast<uint32_t>(t % cfg.n_rx);
+        const auto& x = sc.antenna_time(s, r);
+        for (uint64_t i = e0; i < e1; ++i) {
+          buf[i] = common::to_cq15(x[i] * s_time);
+        }
+        bar.arrive_and_wait();
+        for (uint32_t k = 0; k < plan.geom.stages; ++k) {
+          fixed::fft_stage(plan, k, buf.data(), fout.data(),
+                           static_cast<uint32_t>(g0),
+                           static_cast<uint32_t>(g1), simd);
+          bar.arrive_and_wait();
+        }
+        for (uint64_t i = e0; i < e1; ++i) {
+          freq[s][r][i] = common::to_cd(fout[i]) / ds;
+        }
+        bar.arrive_and_wait();  // buf/fout are reused by the next transform
+      }
+      mmm_rows_phase(w);
+    });
+  }
+  return front;
+}
+
+Slot_result Fixed_backend::run_back(const Pipeline& p,
+                                    const phy::Uplink_scenario& sc,
+                                    Slot_front front) {
+  const auto& cfg = sc.config();
+  const uint32_t n = cfg.fft_size;
+  const uint32_t n_b = cfg.n_beams;
+  const uint32_t n_l = cfg.n_ue;
+  const Stage_spec& che_spec =
+      require(p, Stage_role::che, "pipeline needs a che stage");
+  const Stage_spec& ne_spec =
+      require(p, Stage_role::ne, "pipeline needs an ne stage");
+  const Stage_spec& gram_spec =
+      require(p, Stage_role::gram, "pipeline needs a gram stage");
+  const Stage_spec& mimo_spec =
+      require(p, Stage_role::mimo_solve, "pipeline needs a mimo_solve stage");
+  const double s_che = che_spec.rescale;
+  const double s_est = ne_spec.rescale;
+  const double s_rhs = gram_spec.rescale;
+  const bool simd = simd_active();
+  const uint32_t workers = pool_.workers();
+  common::Counting_barrier bar(workers);
+
+  Slot_result out;
+  out.backend = "fixed";
+  mirror_sim_stage_runs(p, cfg, out);
+
+  // ---- channel estimation on the pilot symbols ------------------------
+  std::vector<std::vector<cq15>> pilots_q(n_l), y_sep_q(n_l);
+  for (uint32_t l = 0; l < n_l; ++l) {
+    pilots_q[l] = quantize(sc.pilot(l), 1.0);
+    y_sep_q[l] = quantize(sc.pilot_obs_beam(l), s_che);
+  }
+  const size_t h_elems = static_cast<size_t>(n) * n_b * n_l;
+  std::vector<cq15> h_q(h_elems);
+  std::vector<cd> h_hat(h_elems);  // [sc][b][l]
+  pool_.run([&](uint32_t w) {
+    const auto [lo, hi] = Thread_pool::slice(n, w, workers);
+    fixed::che_subcarriers(y_sep_q, pilots_q, h_q.data(), n_b, n_l,
+                           static_cast<uint32_t>(lo),
+                           static_cast<uint32_t>(hi), simd);
+    bar.arrive_and_wait();
+    const auto [e0, e1] = Thread_pool::slice(h_elems, w, workers);
+    for (size_t i = e0; i < e1; ++i) {
+      h_hat[i] = common::to_cd(h_q[i]) / s_che;
+    }
+  });
+
+  // ---- noise estimation ------------------------------------------------
+  // The sim NE folds one uint32 contribution per core block, so the
+  // estimate depends on the *simulated* partition: replay exactly that
+  // many blocks regardless of the host worker count.
+  const std::vector<cq15> y_est = quantize(front.beams[0], s_est);
+  const std::vector<cq15> h_est = quantize(h_hat, s_est);
+  uint32_t ne_cores = ne_spec.run.params.getu("cores", 0);
+  if (ne_cores == 0) ne_cores = p.cluster().n_cores();
+  std::vector<uint32_t> contribs(ne_cores);
+  pool_.parallel_for(ne_cores, [&](uint64_t idx) {
+    const fixed::Sc_block blk =
+        fixed::sc_block(n, ne_cores, static_cast<uint32_t>(idx));
+    const int64_t partial = fixed::ne_partial(
+        y_est.data(), h_est.data(), pilots_q, n_b, n_l, blk.lo, blk.hi);
+    contribs[idx] = static_cast<uint32_t>(
+        std::max<int64_t>(0, partial >> common::q15_frac_bits));
+  });
+  uint32_t raw = 0;  // wraps mod 2^32 like the simulated amo_add word
+  for (const uint32_t c : contribs) raw += c;
+  const double count = static_cast<double>(n) * n_b;
+  const double sigma2_hat =
+      static_cast<double>(raw) /
+      (count * static_cast<double>(1 << common::q15_frac_bits)) /
+      (s_est * s_est);
+  out.sigma2_hat = sigma2_hat;
+
+  // ---- MIMO per data symbol: G = H^H H + sigma2 I, Cholesky, solves ----
+  const std::vector<cq15> gh_q = quantize(h_hat, 1.0);
+  const cq15 sigma{common::to_q15(sigma2_hat), 0};
+  const uint32_t batch = mimo_spec.run.params.getu("symb_batch", 1);
+  out.bits.resize(n_l);
+  std::vector<std::vector<cd>> eq(n_l);  // equalized symbols
+  double evm_acc = 0.0;
+  uint64_t evm_cnt = 0;
+
+  std::vector<std::vector<cq15>> y_q(batch), g_syms(batch), rhs_syms(batch);
+  std::vector<cq15> xs(static_cast<size_t>(batch) * n * n_l);
+  for (uint32_t s0 = cfg.n_pilot_symb; s0 < cfg.n_symb; s0 += batch) {
+    for (uint32_t b = 0; b < batch; ++b) {
+      y_q[b] = quantize(front.beams[s0 + b], s_rhs);
+      g_syms[b].assign(static_cast<size_t>(n) * n_l * n_l, cq15{});
+      rhs_syms[b].assign(static_cast<size_t>(n) * n_l, cq15{});
+    }
+    // One (symbol-in-batch, sub-carrier) problem per item: Gramian +
+    // matched filter, then Cholesky + both substitutions.  Items are
+    // independent, so no barrier is needed between the two steps.
+    pool_.parallel_for(
+        static_cast<uint64_t>(batch) * n, [&](uint64_t item) {
+          const uint32_t b = static_cast<uint32_t>(item / n);
+          const uint32_t scx = static_cast<uint32_t>(item % n);
+          fixed::gram_subcarriers(gh_q.data(), y_q[b].data(), sigma,
+                                  g_syms[b].data(), rhs_syms[b].data(), n_b,
+                                  n_l, scx, scx + 1);
+          cq15 lmat[64];
+          fixed::cholesky(
+              g_syms[b].data() + static_cast<size_t>(scx) * n_l * n_l, lmat,
+              n_l);
+          fixed::trisolve(lmat,
+                          rhs_syms[b].data() + static_cast<size_t>(scx) * n_l,
+                          xs.data() + item * n_l, n_l);
+        });
+
+    // Serial epilogue in the sim backend's exact loop order (the EVM sum
+    // is a float reduction; order is part of the contract).
+    for (uint32_t b = 0; b < batch; ++b) {
+      const uint32_t s = s0 + b;
+      for (uint32_t scx = 0; scx < n; ++scx) {
+        const std::vector<cq15> xq(
+            xs.begin() + (static_cast<size_t>(b) * n + scx) * n_l,
+            xs.begin() + (static_cast<size_t>(b) * n + scx + 1) * n_l);
+        const auto x = dequantize(xq, s_rhs);
+        for (uint32_t l = 0; l < n_l; ++l) {
+          const cd sym = x[l] / cfg.ue_power;
+          eq[l].push_back(sym);
+          const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
+          evm_acc += std::norm(sym - want);
+          ++evm_cnt;
+        }
+      }
+    }
+  }
+  out.evm = std::sqrt(evm_acc / static_cast<double>(evm_cnt));
+
+  uint64_t nerr = 0, nbits = 0;
+  for (uint32_t l = 0; l < n_l; ++l) {
+    out.bits[l] = phy::qam_demodulate(cfg.qam, eq[l]);
+    const auto& want = sc.tx_bits(l);
+    PP_CHECK(want.size() == out.bits[l].size(), "payload size mismatch");
+    for (size_t i = 0; i < want.size(); ++i) {
+      nerr += want[i] != out.bits[l][i];
+      ++nbits;
+    }
+  }
+  out.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  return out;
+}
+
+}  // namespace pp::runtime

@@ -1,6 +1,7 @@
 #include "runtime/pipeline.h"
 
 #include "runtime/backend.h"
+#include "runtime/backend_fixed.h"
 #include "runtime/backend_parallel.h"
 #include "runtime/registry.h"
 
@@ -62,13 +63,15 @@ std::unique_ptr<Backend> make_backend(std::string_view name, uint32_t intra) {
   if (name == "sim") return std::make_unique<Sim_backend>();
   if (name == "reference") return std::make_unique<Reference_backend>();
   if (name == "parallel") return std::make_unique<Parallel_backend>(intra);
+  if (name == "fixed") return std::make_unique<Fixed_backend>(intra);
   PP_CHECK(false,
-           "unknown backend (expected 'sim', 'reference' or 'parallel')");
+           "unknown backend (expected 'sim', 'reference', 'parallel' or "
+           "'fixed')");
   return nullptr;
 }
 
 std::vector<std::string> backend_names() {
-  return {"sim", "reference", "parallel"};
+  return {"sim", "reference", "parallel", "fixed"};
 }
 
 Slot_front Backend::run_front(const Pipeline&, const phy::Uplink_scenario&) {

@@ -1,0 +1,278 @@
+// Fixed_backend bit-exactness and SIMD parity tests.
+//
+// The load-bearing guarantee (docs/DETERMINISM.md section 6): the fixed-point
+// host backend is **bit-identical to the sim backend** - same payload bits,
+// same EVM/BER doubles, same sigma2_hat - across the scenario grid, at any
+// intra-slot worker count, through the split/pipelined path, and with the
+// SIMD kernels on or off.  Unlike the parallel/reference pair (which shares
+// double-precision models), fixed and sim share only the Q15 value chain, so
+// these tests pin the whole src/fixed/ subsystem against the simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fixed/q15_kernels.h"
+#include "fixed/simd.h"
+#include "runtime/backend.h"
+#include "runtime/backend_fixed.h"
+#include "runtime/sweep.h"
+
+namespace {
+
+using namespace pp;
+using common::cq15;
+
+// ---- registry wiring -------------------------------------------------------
+
+TEST(FixedBackend, MakeBackendByNameAndWorkerCount) {
+  const auto b = runtime::make_backend("fixed", 3);
+  EXPECT_EQ(b->name(), "fixed");
+  EXPECT_FALSE(b->cycle_accurate());
+  EXPECT_TRUE(b->can_split());
+  EXPECT_EQ(static_cast<runtime::Fixed_backend*>(b.get())->workers(), 3u);
+  runtime::Fixed_backend all(0);
+  EXPECT_GE(all.workers(), 1u);
+  // The SIMD resolution is a host property, not a per-call coin flip.
+  runtime::Fixed_backend scalar(1, false);
+  EXPECT_FALSE(scalar.simd_active());
+  runtime::Fixed_backend simd(1, true);
+  EXPECT_EQ(simd.simd_active(), fixed::simd_available());
+}
+
+TEST(FixedBackend, BackendNamesStayInSyncWithMakeBackend) {
+  // Every advertised name must construct, agree on its own name, and the
+  // fixed backend must be advertised - the CLI --list / validation surface
+  // (bench_util, pusch_sweep, pusch_serve) is generated from this list.
+  const auto names = runtime::backend_names();
+  for (const auto& name : names) {
+    const auto b = runtime::make_backend(name, 1);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->name(), name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "fixed"), names.end());
+}
+
+// ---- bit parity vs. the simulator ------------------------------------------
+
+void expect_slot_bits_equal(const runtime::Slot_result& sim,
+                            const runtime::Slot_result& fix,
+                            const std::string& what) {
+  EXPECT_EQ(sim.bits, fix.bits) << what;
+  EXPECT_EQ(sim.evm, fix.evm) << what;
+  EXPECT_EQ(sim.ber, fix.ber) << what;
+  EXPECT_EQ(sim.sigma2_hat, fix.sigma2_hat) << what;
+  ASSERT_EQ(sim.stages.size(), fix.stages.size()) << what;
+  for (size_t s = 0; s < sim.stages.size(); ++s) {
+    EXPECT_EQ(sim.stages[s].name, fix.stages[s].name) << what;
+    EXPECT_EQ(sim.stages[s].runs, fix.stages[s].runs) << what;
+    EXPECT_EQ(fix.stages[s].cycles, 0u) << "host backends report no cycles";
+  }
+}
+
+TEST(FixedBackend, BitIdenticalToSimAcrossScenarioGridAndWorkers) {
+  // Numerology x UE x QAM grid, two SNR points each; every slot checked at
+  // 1, 2 and 8 intra-slot workers against the simulated sweep.  EVM and BER
+  // are compared with ==: the fixed backend reproduces the sim backend's
+  // Q15 arithmetic exactly, not approximately.
+  runtime::Sweep_grid grid;
+  grid.fft_sizes = {16, 64};
+  grid.ue_counts = {2, 4};
+  grid.qam_orders = {phy::Qam::qpsk, phy::Qam::qam16};
+  grid.snr_db = {10, 30};
+
+  runtime::Sweep_options sim_opt;
+  sim_opt.backend = "sim";
+  sim_opt.workers = 2;
+  const auto sim = runtime::Sweep_runner(sim_opt).run(grid);
+  ASSERT_EQ(sim.total_slots, 16u);
+
+  for (const uint32_t intra : {1u, 2u, 8u}) {
+    runtime::Sweep_options fix_opt;
+    fix_opt.backend = "fixed";
+    fix_opt.workers = 2;  // compose slot-level x intra-slot parallelism
+    fix_opt.intra = intra;
+    const auto fix = runtime::Sweep_runner(fix_opt).run(grid);
+    ASSERT_EQ(fix.slots.size(), sim.slots.size());
+    for (size_t i = 0; i < sim.slots.size(); ++i) {
+      expect_slot_bits_equal(
+          sim.slots[i], fix.slots[i],
+          "slot " + std::to_string(i) + " intra " + std::to_string(intra));
+      EXPECT_EQ(fix.slots[i].backend, "fixed");
+    }
+    for (size_t p = 0; p < sim.points.size(); ++p) {
+      EXPECT_EQ(sim.points[p].evm, fix.points[p].evm) << "point " << p;
+      EXPECT_EQ(sim.points[p].ber, fix.points[p].ber) << "point " << p;
+      EXPECT_EQ(sim.points[p].sigma2_hat, fix.points[p].sigma2_hat)
+          << "point " << p;
+    }
+  }
+}
+
+TEST(FixedBackend, CooperativeFftPathBitIdenticalToSim) {
+  // Fewer transforms than workers forces the cooperative FFT: butterfly
+  // blocks tiled across all workers with a barrier between stages.
+  phy::Uplink_config cfg;
+  cfg.n_sc = 64;
+  cfg.fft_size = 64;
+  cfg.n_rx = 2;
+  cfg.n_beams = 4;
+  cfg.n_ue = 2;
+  cfg.n_symb = 3;
+  cfg.n_pilot_symb = 2;
+  cfg.seed = 99;
+  const phy::Uplink_scenario sc(cfg);
+  const auto pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool());
+
+  const auto sim = pipeline.execute(sc, *runtime::make_backend("sim"));
+  for (const uint32_t intra : {7u, 16u}) {  // 6 transforms < workers
+    runtime::Fixed_backend backend(intra);
+    const auto fix = pipeline.execute(sc, backend);
+    expect_slot_bits_equal(sim, fix, "intra " + std::to_string(intra));
+  }
+}
+
+TEST(FixedBackend, SplitContractMatchesWholeSlot) {
+  // run_back(run_front()) == run_slot - the contract stage pipelining
+  // rests on (scheduler.h).
+  phy::Uplink_config cfg;
+  cfg.n_sc = 64;
+  cfg.fft_size = 64;
+  cfg.n_rx = 4;
+  cfg.n_beams = 4;
+  cfg.n_ue = 4;
+  cfg.n_symb = 4;
+  cfg.n_pilot_symb = 2;
+  cfg.seed = 7;
+  const phy::Uplink_scenario sc(cfg);
+  const auto pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool());
+
+  runtime::Fixed_backend whole(2);
+  runtime::Fixed_backend split(2);
+  const auto a = whole.run_slot(pipeline, sc);
+  const auto b = split.run_back(pipeline, sc, split.run_front(pipeline, sc));
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.evm, b.evm);
+  EXPECT_EQ(a.ber, b.ber);
+  EXPECT_EQ(a.sigma2_hat, b.sigma2_hat);
+}
+
+TEST(FixedBackend, PipelinedSchedulerBitIdenticalToSim) {
+  // The full composition the issue demands: Slot_scheduler with stage
+  // pipelining on, the fixed backend underneath, against the simulated run.
+  runtime::Sweep_grid grid;
+  grid.fft_sizes = {16};
+  grid.snr_db = {15, 25};
+  grid.slots_per_point = 2;
+  const runtime::Grid_source source(grid);
+
+  runtime::Scheduler_options sim_opt;
+  sim_opt.backend = "sim";
+  sim_opt.workers = 1;
+  const auto sim = runtime::Slot_scheduler(sim_opt).run(source);
+
+  runtime::Scheduler_options fix_opt;
+  fix_opt.backend = "fixed";
+  fix_opt.workers = 2;
+  fix_opt.intra = 2;
+  fix_opt.pipelined = true;
+  const auto fix = runtime::Slot_scheduler(fix_opt).run(source);
+  EXPECT_TRUE(fix.pipelined);  // the fixed backend can split
+  ASSERT_EQ(fix.slots.size(), sim.slots.size());
+  for (size_t i = 0; i < sim.slots.size(); ++i) {
+    expect_slot_bits_equal(sim.slots[i], fix.slots[i],
+                           "slot " + std::to_string(i));
+  }
+}
+
+// ---- SIMD parity -----------------------------------------------------------
+
+TEST(FixedBackend, ScalarAndSimdBitIdentical) {
+  // A slot large enough to engage every vector path (butterfly runs >= 8,
+  // 8-beam CHE rows): forcing the scalar loops must not change a bit.  On
+  // hosts without a SIMD path both runs are scalar and the test is vacuous
+  // (the grid test above still covers the backend).
+  phy::Uplink_config cfg;
+  cfg.n_sc = 256;
+  cfg.fft_size = 256;
+  cfg.n_rx = 8;
+  cfg.n_beams = 8;
+  cfg.n_ue = 4;
+  cfg.n_symb = 4;
+  cfg.n_pilot_symb = 2;
+  cfg.qam = phy::Qam::qam64;
+  cfg.seed = 41;
+  const phy::Uplink_scenario sc(cfg);
+  const auto pipeline =
+      runtime::uplink_pipeline(arch::Cluster_config::minipool());
+
+  runtime::Fixed_backend simd(2, true);
+  runtime::Fixed_backend scalar(2, false);
+  const auto a = pipeline.execute(sc, simd);
+  const auto b = pipeline.execute(sc, scalar);
+  expect_slot_bits_equal(a, b, std::string("isa ") + fixed::simd_isa());
+}
+
+cq15 random_cq15(common::Rng& rng) {
+  // Full int16 range, with extreme values (q15_min in both lanes included)
+  // oversampled to exercise the saturation corners.
+  auto lane = [&rng]() -> int16_t {
+    switch (rng.next_u32() % 8) {
+      case 0: return common::q15_min;
+      case 1: return common::q15_max;
+      default: return static_cast<int16_t>(rng.next_u32());
+    }
+  };
+  return cq15{lane(), lane()};
+}
+
+TEST(FixedQ15, SimdCheRowMatchesScalarIncludingCorners) {
+  // cmul_double_prefix vs. the scalar CHE row op cadd(t, t), t = cmul(y, x),
+  // over adversarial inputs - including the one cmul wrap corner
+  // ({-0x8000, -0x8000} x itself) the AVX2 path patches with a blend.
+  common::Rng rng(2023);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t n = 1 + rng.next_u32() % 64;
+    std::vector<cq15> y(n);
+    for (auto& v : y) v = random_cq15(rng);
+    cq15 x = random_cq15(rng);
+    if (round == 0) {  // pin the corner explicitly
+      x = cq15{common::q15_min, common::q15_min};
+      y.assign(n, cq15{common::q15_min, common::q15_min});
+    }
+    std::vector<cq15> out(n, cq15{0, 0});
+    const uint32_t done = fixed::cmul_double_prefix(y.data(), x, out.data(),
+                                                    static_cast<uint32_t>(n));
+    ASSERT_LE(done, n);
+    for (uint32_t i = 0; i < done; ++i) {
+      const cq15 t = common::cmul(y[i], x);
+      const cq15 want = common::cadd(t, t);
+      EXPECT_EQ(out[i].re, want.re) << "round " << round << " i " << i;
+      EXPECT_EQ(out[i].im, want.im) << "round " << round << " i " << i;
+    }
+  }
+}
+
+TEST(FixedQ15, SimdFftMatchesScalarAcrossSizes) {
+  common::Rng rng(7);
+  for (const uint32_t n : {16u, 64u, 256u, 1024u}) {
+    const auto& plan = fixed::fft_plan(n);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<cq15> in(n);
+      for (auto& v : in) v = random_cq15(rng);
+      std::vector<cq15> buf_s = in, out_s(n), buf_v = in, out_v(n);
+      fixed::fft_transform(plan, buf_s.data(), out_s.data(), false);
+      fixed::fft_transform(plan, buf_v.data(), out_v.data(), true);
+      for (uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out_s[i].re, out_v[i].re) << "n " << n << " bin " << i;
+        EXPECT_EQ(out_s[i].im, out_v[i].im) << "n " << n << " bin " << i;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -139,6 +139,97 @@ TEST(Cq15, ScalingShifts) {
   EXPECT_NEAR(to_cd(cquarter(a)).imag(), -0.0625, 1e-4);
 }
 
+// ---- edge-case semantics ---------------------------------------------------
+//
+// The Q15 layer is the shared value contract between the simulated kernels
+// and the fixed-point host backend (src/fixed/), so its corner behavior is
+// pinned exactly - docs/DETERMINISM.md section 6 documents these semantics
+// and any change here breaks sim/fixed bit parity.
+
+TEST(Q15, ToQ15SaturatesArbitrarilyLargeInputs) {
+  // The double -> int64 cast must never be reached out of range (UB);
+  // saturation happens on the double side first.
+  EXPECT_EQ(to_q15(1e18), q15_max);
+  EXPECT_EQ(to_q15(-1e18), q15_min);
+  EXPECT_EQ(to_q15(32767.5 / 32768.0), q15_max);   // rounds up into the clamp
+  EXPECT_EQ(to_q15(-32768.5 / 32768.0), q15_min);  // rounds down into it
+}
+
+TEST(Q15, ToQ15RoundsHalfAwayFromZero) {
+  EXPECT_EQ(to_q15(0.5 / 32768.0), 1);
+  EXPECT_EQ(to_q15(-0.5 / 32768.0), -1);
+  EXPECT_EQ(to_q15(1.5 / 32768.0), 2);
+  EXPECT_EQ(to_q15(-1.5 / 32768.0), -2);
+  EXPECT_EQ(to_q15(0.49 / 32768.0), 0);
+  EXPECT_EQ(to_q15(-0.49 / 32768.0), 0);
+}
+
+TEST(Q15, MinTimesMinSaturatesToMax) {
+  // (-1) * (-1) = +1 is not representable: the product 0x4000'0000 rounds
+  // and shifts to 0x8000, one past q15_max, and must saturate - not wrap.
+  EXPECT_EQ(mul_q15(q15_min, q15_min), q15_max);
+  EXPECT_EQ(mul_q15(q15_min, q15_max), static_cast<int16_t>(-32767));
+}
+
+TEST(Q15, DivisionRoundsToNearestOnBothSigns) {
+  // (1/32768) / (3/32768) = 10922.67 ulp: the sign-matched half-offset on
+  // the numerator must round negative quotients to nearest too - plain C
+  // truncation would give -10922.
+  EXPECT_EQ(div_q15(1, 3), 10923);
+  EXPECT_EQ(div_q15(-1, 3), -10923);
+  EXPECT_EQ(div_q15(-3, to_q15(0.5)), -6);  // exact quotient, no rounding
+  EXPECT_EQ(div_q15(1, q15_max), 1);        // 1.00003 -> 1 either sign
+  EXPECT_EQ(div_q15(-1, q15_max), -1);
+}
+
+TEST(Cq15, NegationOfMinSaturates) {
+  // -INT16_MIN does not exist in int16; cneg/cconj must clamp to q15_max
+  // (the arithmetic is widened before the negate, never UB).
+  const cq15 v{q15_min, q15_min};
+  EXPECT_EQ(cneg(v).re, q15_max);
+  EXPECT_EQ(cneg(v).im, q15_max);
+  EXPECT_EQ(cconj(v).re, q15_min);
+  EXPECT_EQ(cconj(v).im, q15_max);
+  EXPECT_EQ(cmul_mj(v).re, q15_min);  // {im, sat(-re)}
+  EXPECT_EQ(cmul_mj(v).im, q15_max);
+}
+
+TEST(Cq15, ComplexMultiplyMinMinCorner) {
+  // The one spot where the cross-product sum leaves int32: both operands
+  // {-0x8000, -0x8000} give an imaginary sum of exactly +2^31.  The widened
+  // scalar math (and the SIMD blend patch) must produce {0, q15_max}.
+  const cq15 m{q15_min, q15_min};
+  const cq15 r = cmul(m, m);
+  EXPECT_EQ(r.re, 0);
+  EXPECT_EQ(r.im, q15_max);
+}
+
+TEST(Cq15, AccumulatorRoundingIsHalfUpNotHalfAwayFromZero) {
+  // cacc::round() adds +2^14 then arithmetic-shifts: exact halves round
+  // toward +inf for both signs.  This is asymmetric with to_q15 (half away
+  // from zero) and deliberate - it is what the simulated kernels compute,
+  // so the fixed backend must reproduce it, not "fix" it.
+  cacc acc;
+  acc.re = -(int64_t{1} << 14);  // -0.5 ulp
+  acc.im = (int64_t{1} << 14);   // +0.5 ulp
+  const cq15 r = acc.round();
+  EXPECT_EQ(r.re, 0);  // half *up*, not away from zero (-1)
+  EXPECT_EQ(r.im, 1);
+  cacc acc2;
+  acc2.re = -(int64_t{1} << 14) - 1;  // just below -0.5 ulp
+  EXPECT_EQ(acc2.round().re, -1);
+}
+
+TEST(Cq15, HalvingShiftsFloorOnNegatives) {
+  // chalf/cquarter are arithmetic shifts: they round toward -inf, so -1
+  // stays -1 (not 0).  Pinned because the FFT pre-scaling depends on it.
+  const cq15 v{-1, -3};
+  EXPECT_EQ(chalf(v).re, -1);
+  EXPECT_EQ(chalf(v).im, -2);
+  EXPECT_EQ(cquarter(v).re, -1);
+  EXPECT_EQ(cquarter(v).im, -1);
+}
+
 TEST(Rng, DeterministicAndUniform) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());

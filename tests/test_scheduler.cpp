@@ -198,7 +198,7 @@ TEST(Scheduler, SplitBackendsMatchRunSlot) {
   const auto pipeline = runtime::uplink_pipeline(cluster, {});
   const phy::Uplink_scenario sc(
       Sweep_runner::slot_config(small_grid(), small_grid().points()[1], 3));
-  for (const char* name : {"reference", "parallel"}) {
+  for (const char* name : {"reference", "parallel", "fixed"}) {
     auto whole = runtime::make_backend(name, 2);
     auto split = runtime::make_backend(name, 2);
     ASSERT_TRUE(whole->can_split()) << name;
