@@ -18,7 +18,9 @@
 #include "common/complex16.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "runtime/admission.h"
 #include "runtime/backend.h"
+#include "runtime/placement.h"
 #include "runtime/presets.h"
 #include "runtime/registry.h"
 #include "sim/stats.h"
@@ -116,6 +118,38 @@ inline std::string backend_from_cli(const common::Cli& cli,
   std::exit(2);
 }
 
+// Cell-to-shard placement policy validated against
+// runtime::placement_names(); unknown names print the registered list and
+// exit 2 instead of aborting in place_groups().
+inline std::string placement_from_cli(const common::Cli& cli,
+                                      const char* fallback = "round-robin") {
+  const std::string name = cli.get("--placement", fallback);
+  if (runtime::is_placement_name(name)) return name;
+  std::fprintf(stderr, "unknown placement '%s' for --placement; registered:",
+               name.c_str());
+  for (const auto& p : runtime::placement_names()) {
+    std::fprintf(stderr, " %s", p.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+// Overload/admission policy validated against runtime::overload_names();
+// unknown names print the registered list and exit 2 instead of aborting in
+// overload_from_name().
+inline std::string overload_from_cli(const common::Cli& cli,
+                                     const char* fallback = "off") {
+  const std::string name = cli.get("--overload", fallback);
+  if (runtime::is_overload_name(name)) return name;
+  std::fprintf(stderr, "unknown policy '%s' for --overload; registered:",
+               name.c_str());
+  for (const auto& p : runtime::overload_names()) {
+    std::fprintf(stderr, " %s", p.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
 // `--list` support: everything reachable by name through the runtime
 // registry and the CLI helpers - clusters, execution backends, pipeline
 // presets, and the registered kernel configurations.
@@ -140,6 +174,17 @@ inline void print_catalog() {
     std::printf("  %-10s %s%s\n", name.c_str(), what,
                 b->can_split() ? ", stage-splittable" : "");
   }
+  std::printf("\nplacement policies (--placement):\n");
+  std::printf("  %-10s cell i onto shard i mod N\n", "round-robin");
+  std::printf("  %-10s LPT greedy over per-cell analytic MAC load\n",
+              "load-aware");
+  std::printf("\noverload policies (--overload):\n");
+  std::printf("  %-10s admit everything\n", "off");
+  std::printf("  %-10s shed jobs whose predicted delay exceeds the budget\n",
+              "drop");
+  std::printf("  %-10s tail-drop past a bounded predicted backlog\n", "queue");
+  std::printf("  %-10s re-plan over-budget slots to fewer UE layers\n",
+              "degrade");
   std::printf("\npipeline presets:\n");
   for (const auto& [name, summary] : runtime::preset_names()) {
     std::printf("  %-10s %s\n", name.c_str(), summary.c_str());

@@ -7,10 +7,12 @@
 // within 1 ms / 2^mu).
 //
 //   ./examples/pusch_serve                               # 2 cells, 64 slots
-//   ./examples/pusch_serve --cells 2 --slots 128 --load 0.8 \
-//       --mu 1,0 --fft 64,256 --ue 2,4 --qam 16,64 --snr 30 \
+//   ./examples/pusch_serve --cells 2 --slots 128 --load 0.8
+//       --mu 1,0 --fft 64,256 --ue 2,4 --qam 16,64 --snr 30
 //       --backend reference --workers 4 --pipelined
 //   ./examples/pusch_serve --backend sim --arch minipool --clock-ghz 0.02
+//   ./examples/pusch_serve --shards 2 --placement load-aware
+//       --overload degrade --load 1.5                    # sharded serving
 //   ./examples/pusch_serve --list                        # name catalog
 //
 // Cell i draws its parameters from position i (mod length) of the --mu,
@@ -22,8 +24,14 @@
 // analytic MAC model on host backends, drained by --servers virtual
 // clusters - so miss counts and latency percentiles are bit-identical for
 // any --workers and with --pipelined on or off (docs/DETERMINISM.md).
-// --json <path> emits the aggregate report in the pp-bench-report-v1
-// schema.
+//
+// Sharded serving (docs/DETERMINISM.md §7): --shards N runs N scheduler
+// shards, each its own FCFS virtual-clock queue of --servers clusters;
+// --placement picks how cells map onto shards and --overload puts an
+// admission controller (drop / queue / degrade, with --queue-limit and
+// --min-ue) in front of every shard's queue.  --json <path> emits the
+// aggregate report in the pp-bench-report-v1 schema, including per-cell and
+// per-shard admitted/dropped/degraded counters.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -112,15 +120,26 @@ int main(int argc, char** argv) {
   if (!(opt.clock_ghz > 0.0)) {
     bad_range("--clock-ghz", "clock must be positive");
   }
+  opt.shards = cli.get_u32("--shards", 1);
+  if (opt.shards < 1) bad_range("--shards", "need at least one shard");
+  opt.placement = bench::placement_from_cli(cli);
+  opt.overload = bench::overload_from_cli(cli);
+  opt.queue_limit = cli.get_u32("--queue-limit", 8);
+  opt.degrade_min_ue = cli.get_u32("--min-ue", 1);
+  if (opt.degrade_min_ue < 1) {
+    bad_range("--min-ue", "the degrade floor must keep one UE layer");
+  }
 
   const runtime::Traffic_source source(traffic);
   std::printf("serve: %llu slots over %zu cell%s on '%s' (%s cluster), "
-              "%u virtual server%s at %.3f GHz\n",
+              "%u shard%s (%s placement, %s overload) of %u virtual "
+              "server%s at %.3f GHz\n",
               static_cast<unsigned long long>(source.n_slots()),
               traffic.cells.size(), traffic.cells.size() == 1 ? "" : "s",
-              opt.backend.c_str(), opt.cluster.name.c_str(),
-              opt.service_units, opt.service_units == 1 ? "" : "s",
-              opt.clock_ghz);
+              opt.backend.c_str(), opt.cluster.name.c_str(), opt.shards,
+              opt.shards == 1 ? "" : "s", opt.placement.c_str(),
+              opt.overload.c_str(), opt.service_units,
+              opt.service_units == 1 ? "" : "s", opt.clock_ghz);
   const runtime::Slot_scheduler scheduler(opt);
   const auto res = scheduler.run(source);
   std::fputs(res.str().c_str(), stdout);
@@ -135,24 +154,60 @@ int main(int argc, char** argv) {
   rep.add_meta("workers", std::to_string(res.workers));
   rep.add_meta("pipelined", res.pipelined ? "yes" : "no");
   rep.add_meta("servers", std::to_string(opt.service_units));
+  rep.add_meta("shards", std::to_string(opt.shards));
+  rep.add_meta("placement", res.placement);
+  rep.add_meta("overload", res.overload);
   for (size_t c = 0; c < res.groups.size(); ++c) {
     const auto& g = res.groups[c];
     auto& row = rep.add_row(g.label);
     row.cluster = opt.cluster.name;
     row.metric("slots", static_cast<double>(g.slots), "count", true, "exact");
+    row.metric("shard", static_cast<double>(g.shard), "id", true, "exact");
+    row.metric("admitted", static_cast<double>(g.admitted), "count", true,
+               "exact");
+    row.metric("dropped", static_cast<double>(g.dropped), "count", true,
+               "exact");
+    row.metric("degraded", static_cast<double>(g.degraded), "count", true,
+               "exact");
     row.metric("evm", g.evm, "rms", true, "exact");
     row.metric("ber", g.ber, "rate", true, "exact");
     row.metric("deadline_misses", static_cast<double>(g.deadline_misses),
                "count", true, "lower");
+    row.metric("latency_p50", 1e6 * g.latency.percentile(0.50), "us", true,
+               "lower");
     row.metric("latency_p99", 1e6 * g.latency.percentile(0.99), "us", true,
                "lower");
     if (g.cycles) {
       row.metric("cycles", static_cast<double>(g.cycles), "cycles");
     }
   }
+  for (size_t s = 0; s < res.shards.size(); ++s) {
+    const auto& sh = res.shards[s];
+    auto& row = rep.add_row("shard" + std::to_string(s));
+    row.cluster = opt.cluster.name;
+    row.metric("groups", static_cast<double>(sh.groups), "count", true,
+               "exact");
+    row.metric("slots", static_cast<double>(sh.slots), "count", true, "exact");
+    row.metric("admitted", static_cast<double>(sh.admitted), "count", true,
+               "exact");
+    row.metric("dropped", static_cast<double>(sh.dropped), "count", true,
+               "exact");
+    row.metric("degraded", static_cast<double>(sh.degraded), "count", true,
+               "exact");
+    row.metric("deadline_misses", static_cast<double>(sh.deadline_misses),
+               "count", true, "lower");
+    row.metric("latency_p99", 1e6 * sh.latency.percentile(0.99), "us", true,
+               "lower");
+  }
   auto& totals = rep.add_row("totals");
   totals.metric("total_slots", static_cast<double>(res.total_slots), "count",
                 true, "exact");
+  totals.metric("admitted", static_cast<double>(res.admitted), "count", true,
+                "exact");
+  totals.metric("dropped", static_cast<double>(res.dropped), "count", true,
+                "exact");
+  totals.metric("degraded", static_cast<double>(res.degraded), "count", true,
+                "exact");
   totals.metric("deadline_slots", static_cast<double>(res.deadline_slots),
                 "count", true, "exact");
   totals.metric("deadline_misses", static_cast<double>(res.deadline_misses),

@@ -77,6 +77,11 @@ run bench_fixed_host bench_fixed_host --fft 256 --symb 4
 # counts and virtual-clock percentiles are deterministic and gate the
 # baseline.
 run bench_serve_latency bench_serve_latency --slots 24
+# Capacity search over the sharded serving engine: virtual-only probes, so
+# the whole binary search is deterministic and the Gb/s-per-cluster
+# headline gates the baseline exactly.
+run bench_capacity bench_capacity \
+    --slots 160 --shards 2 --placement load-aware --iters 12
 
 if [[ "$MODE" == "full" ]]; then
   run bench_fig5_fft_locality bench_fig5_fft_locality

@@ -3,8 +3,10 @@
 # quickstart example (registry + pipeline on both backends), small scenario
 # sweeps (slot scheduler + determinism cross-check, including the
 # intra-slot 'parallel' backend), the streaming traffic engine
-# (pusch_serve, stage-pipelined and --list), a markdown link check over
-# README + docs/, and a bench_all --quick pass whose JSON reports are
+# (pusch_serve, stage-pipelined and --list), the sharded serving engine
+# (placement + overload policies, CLI validation, bench_capacity), a
+# markdown link check over README + docs/, and a bench_all --quick pass
+# whose JSON reports are
 # validated and diffed against the committed baseline
 # (bench/baselines/quick.json, deterministic metrics only).  Suitable as a
 # CI entry point; exits non-zero on any failure.
@@ -76,6 +78,29 @@ echo "--- smoke: streaming traffic engine (pusch_serve + --list) ---"
 "$BUILD_DIR"/examples/pusch_sweep --list > /dev/null
 "$BUILD_DIR"/examples/pusch_uplink_e2e --list > /dev/null
 
+echo "--- smoke: sharded serving engine + capacity search ---"
+# Sharded serve with load-aware placement and the degrade controller, a
+# bounded-queue drop run, and a short capacity search.
+"$BUILD_DIR"/examples/pusch_serve --slots 24 --cells 4 --shards 2 \
+    --placement load-aware --overload degrade --load 1.5 --workers 2
+"$BUILD_DIR"/examples/pusch_serve --slots 24 --cells 4 --shards 2 \
+    --overload queue --queue-limit 2 --clock-ghz 0.0001
+"$BUILD_DIR"/bench/bench_capacity --slots 96 --iters 8 > /dev/null
+# Unknown names for the serving flags must exit 2 with the registered list
+# (the --list convention), not abort or silently fall back.
+for bad in "--placement random" "--overload shed" "--shards 0"; do
+  if "$BUILD_DIR"/examples/pusch_serve --slots 1 $bad > /dev/null 2>&1; then
+    echo "pusch_serve accepted invalid flag: $bad"
+    exit 1
+  else
+    status=$?
+    if [[ "$status" -ne 2 ]]; then
+      echo "pusch_serve exited $status (want 2) for: $bad"
+      exit 1
+    fi
+  fi
+done
+
 echo "--- bench_all --quick: machine-readable reports + baseline diff ---"
 # Every bench's --json output and the merged summary must parse as real
 # JSON, and the deterministic metrics must match the committed baseline
@@ -105,10 +130,11 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_sweep test_thread_safety test_rng test_backend_parallel \
-             test_backend_fixed test_scheduler test_traffic
+             test_backend_fixed test_scheduler test_traffic test_admission \
+             test_placement
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
     -j "$JOBS" \
-    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic'
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement'
 fi
 
 if [[ "${CHECK_UBSAN:-0}" == "1" ]]; then

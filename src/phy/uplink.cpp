@@ -7,6 +7,19 @@
 
 namespace pp::phy {
 
+Uplink_config degrade_to_layers(const Uplink_config& cfg, uint32_t n_ue) {
+  PP_CHECK(n_ue >= 1, "a degraded slot still serves at least one UE layer");
+  PP_CHECK(n_ue <= cfg.n_ue, "degrade only removes UE layers");
+  Uplink_config out = cfg;
+  out.n_ue = n_ue;
+  // sigma2 = n_ue * (channel_gain * ue_power)^2 * 10^(-snr/10) in the sweep
+  // derivation: rescale by the layer ratio so each surviving UE sees the
+  // same SNR.  One multiply + one divide - deterministic IEEE doubles.
+  out.sigma2 = cfg.sigma2 * static_cast<double>(n_ue) /
+               static_cast<double>(cfg.n_ue);
+  return out;
+}
+
 Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
     : cfg_(cfg), rng_(cfg.seed),
       chan_(Channel_config{cfg.n_sc, cfg.n_rx, cfg.n_ue, cfg.coherence,

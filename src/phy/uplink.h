@@ -34,6 +34,17 @@ struct Uplink_config {
   uint64_t seed = 1;
 };
 
+// Overload degrade re-planning: the same slot with at most `n_ue` UE
+// layers.  The admission controller (runtime/admission.h) calls this when a
+// slot's predicted queue delay exceeds its numerology budget - serving
+// fewer spatial layers shrinks every MIMO-stage dimension (Table I
+// complexity is polynomial in N_L), trading per-slot throughput for meeting
+// the deadline.  The surviving layers keep their SNR: sigma2 is the summed
+// per-antenna power of the n_ue Rayleigh paths, so it scales linearly with
+// the layer count.  Everything else - seed included - is unchanged, so the
+// degraded slot is as deterministic as the original.
+Uplink_config degrade_to_layers(const Uplink_config& cfg, uint32_t n_ue);
+
 class Uplink_scenario {
  public:
   explicit Uplink_scenario(const Uplink_config& cfg);

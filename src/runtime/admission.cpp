@@ -1,0 +1,116 @@
+#include "runtime/admission.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+#include "phy/uplink.h"
+
+namespace pp::runtime {
+
+std::vector<std::string> overload_names() {
+  return {"off", "drop", "queue", "degrade"};
+}
+
+bool is_overload_name(const std::string& name) {
+  for (const auto& n : overload_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Overload_policy overload_from_name(const std::string& name) {
+  if (name == "off") return Overload_policy::off;
+  if (name == "drop") return Overload_policy::drop;
+  if (name == "queue") return Overload_policy::queue;
+  if (name == "degrade") return Overload_policy::degrade;
+  PP_CHECK(false,
+           "unknown overload policy (registered: off, drop, queue, degrade)");
+  return Overload_policy::off;  // unreachable
+}
+
+namespace {
+
+// Predicted FCFS state of one shard.  `starts` holds the predicted start
+// times of admitted jobs, popped once they are past - start times are
+// non-decreasing (earliest-free-server time never decreases and arrivals
+// are non-decreasing), so the deque front is always the oldest pending
+// start and its size after popping is the backlog at the current arrival.
+struct Shard_clock {
+  std::vector<double> free_at;
+  std::deque<double> starts;
+};
+
+}  // namespace
+
+std::vector<Admission_verdict> admit_jobs(
+    const std::vector<Slot_job>& jobs,
+    const std::vector<uint32_t>& shard_of_group, uint32_t n_shards,
+    uint32_t service_units, const arch::Cluster_config& cluster,
+    double clock_ghz, const Admission_options& opt) {
+  PP_CHECK(n_shards >= 1, "admission needs at least one shard");
+  PP_CHECK(opt.min_ue >= 1, "degrade floor must keep at least one UE layer");
+  const uint32_t servers = std::max(1u, service_units);
+  std::vector<Shard_clock> shards(n_shards);
+  for (auto& s : shards) s.free_at.assign(servers, 0.0);
+
+  std::vector<Admission_verdict> verdicts(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Slot_job& job = jobs[i];
+    PP_CHECK(job.group < shard_of_group.size(), "slot job group out of range");
+    Admission_verdict& v = verdicts[i];
+    v.shard = shard_of_group[job.group];
+    PP_CHECK(v.shard < n_shards, "placement returned an out-of-range shard");
+    v.cfg = job.cfg;
+    Shard_clock& clock = shards[v.shard];
+
+    // Earliest-free virtual cluster, ties to the lowest id - the same
+    // deterministic pick as fcfs_completion().
+    size_t server = 0;
+    for (size_t j = 1; j < clock.free_at.size(); ++j) {
+      if (clock.free_at[j] < clock.free_at[server]) server = j;
+    }
+    const double start = std::max(job.arrival_s, clock.free_at[server]);
+    double service =
+        analytic_service_seconds(v.cfg, cluster, clock_ghz);
+    v.predicted_delay_s = start + service - job.arrival_s;
+
+    switch (opt.policy) {
+      case Overload_policy::off:
+        break;
+      case Overload_policy::drop:
+        if (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s) {
+          v.outcome = Admission_verdict::Outcome::dropped;
+        }
+        break;
+      case Overload_policy::queue:
+        while (!clock.starts.empty() &&
+               clock.starts.front() <= job.arrival_s) {
+          clock.starts.pop_front();
+        }
+        if (clock.starts.size() >= opt.queue_limit) {
+          v.outcome = Admission_verdict::Outcome::dropped;
+        }
+        break;
+      case Overload_policy::degrade:
+        while (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s &&
+               v.cfg.n_ue > opt.min_ue) {
+          v.cfg = phy::degrade_to_layers(v.cfg, v.cfg.n_ue - 1);
+          service = analytic_service_seconds(v.cfg, cluster, clock_ghz);
+          v.predicted_delay_s = start + service - job.arrival_s;
+        }
+        if (v.cfg.n_ue != job.cfg.n_ue) {
+          v.outcome = Admission_verdict::Outcome::degraded;
+        }
+        break;
+    }
+
+    if (v.outcome != Admission_verdict::Outcome::dropped) {
+      clock.free_at[server] = start + service;
+      clock.starts.push_back(start);
+    }
+  }
+  return verdicts;
+}
+
+}  // namespace pp::runtime

@@ -34,6 +34,12 @@ void Latency_histogram::record(double seconds) {
   max_ = std::max(max_, seconds);
 }
 
+void Latency_histogram::merge(const Latency_histogram& o) {
+  for (size_t b = 0; b < kBuckets; ++b) counts_[b] += o.counts_[b];
+  count_ += o.count_;
+  max_ = std::max(max_, o.max_);
+}
+
 double Latency_histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   const double rank = q * static_cast<double>(count_);

@@ -51,6 +51,13 @@ class Latency_histogram {
   // cumulative count >= q * count().  0 when the histogram is empty.
   double percentile(double q) const;
 
+  // Exact bucket-wise sum of another histogram into this one (integer
+  // counts, max is a plain max) - merging is associative, commutative and
+  // loses nothing, so per-shard histograms folded in any order equal the
+  // histogram of the union of the recorded values.  The shard aggregation
+  // in runtime::Slot_scheduler relies on exactly this.
+  void merge(const Latency_histogram& o);
+
   // Histograms are equality-comparable so determinism tests can assert
   // whole-distribution identity across worker counts.
   bool operator==(const Latency_histogram& o) const {

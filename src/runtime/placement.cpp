@@ -1,0 +1,70 @@
+#include "runtime/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pp::runtime {
+
+std::vector<std::string> placement_names() {
+  return {"round-robin", "load-aware"};
+}
+
+bool is_placement_name(const std::string& name) {
+  for (const auto& n : placement_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<double> group_service_seconds(const std::vector<Slot_job>& jobs,
+                                          uint32_t n_groups,
+                                          const arch::Cluster_config& cluster,
+                                          double clock_ghz) {
+  std::vector<double> load(n_groups, 0.0);
+  for (const Slot_job& job : jobs) {
+    PP_CHECK(job.group < n_groups, "slot job group out of range");
+    load[job.group] += analytic_service_seconds(job.cfg, cluster, clock_ghz);
+  }
+  return load;
+}
+
+std::vector<uint32_t> place_groups(const std::string& policy,
+                                   const std::vector<double>& group_load,
+                                   uint32_t n_groups, uint32_t n_shards) {
+  PP_CHECK(n_shards >= 1, "placement needs at least one shard");
+  std::vector<uint32_t> shard(n_groups, 0);
+  if (n_shards == 1 || n_groups == 0) {
+    PP_CHECK(is_placement_name(policy), "unknown placement policy");
+    return shard;
+  }
+  if (policy == "round-robin") {
+    for (uint32_t g = 0; g < n_groups; ++g) shard[g] = g % n_shards;
+    return shard;
+  }
+  PP_CHECK(policy == "load-aware",
+           "unknown placement policy (registered: round-robin, load-aware)");
+  PP_CHECK(group_load.size() == n_groups,
+           "load-aware placement needs one load per group");
+  // LPT greedy: heaviest group first onto the least-loaded shard.  Both
+  // tie-breaks are by lowest id, and the shard totals are accumulated in
+  // assignment order, so the result is a pure function of the loads.
+  std::vector<uint32_t> order(n_groups);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return group_load[a] > group_load[b];
+  });
+  std::vector<double> total(n_shards, 0.0);
+  for (const uint32_t g : order) {
+    uint32_t s = 0;
+    for (uint32_t j = 1; j < n_shards; ++j) {
+      if (total[j] < total[s]) s = j;
+    }
+    shard[g] = s;
+    total[s] += group_load[g];
+  }
+  return shard;
+}
+
+}  // namespace pp::runtime

@@ -1,0 +1,54 @@
+// Cell-to-shard placement policies for the sharded serving engine.
+//
+// The sharded Slot_scheduler (scheduler.h) runs N scheduler shards, each
+// owning one virtual cluster's worth of workers and its own FCFS
+// virtual-clock queue.  A placement policy decides which shard serves each
+// source group (a Traffic_source cell, a grid point): the whole group moves
+// as a unit, so a cell's slots always queue behind each other in arrival
+// order and the per-shard virtual clock stays a pure function of the source
+// (docs/DETERMINISM.md §7).
+//
+// Policies (placement_names()):
+//   round-robin   group g -> shard g % n_shards.  Oblivious, stable under
+//                 appended groups.
+//   load-aware    longest-processing-time greedy over the per-group
+//                 analytic MAC load: groups sorted by descending total
+//                 analytic service seconds (ties -> lower group id) are
+//                 assigned to the currently least-loaded shard (ties ->
+//                 lower shard id).  Deterministic: loads are index-order
+//                 sums of analytic_service_seconds(), comparisons exact.
+#ifndef PUSCHPOOL_RUNTIME_PLACEMENT_H
+#define PUSCHPOOL_RUNTIME_PLACEMENT_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace pp::runtime {
+
+// Registered placement policies, in listing order.
+std::vector<std::string> placement_names();
+
+// True if `name` is a registered placement policy.
+bool is_placement_name(const std::string& name);
+
+// Per-group offered compute: the sum (in job-index order) of each group's
+// analytic service seconds over the whole trace - the deterministic load
+// signal the load-aware policy balances on.
+std::vector<double> group_service_seconds(const std::vector<Slot_job>& jobs,
+                                          uint32_t n_groups,
+                                          const arch::Cluster_config& cluster,
+                                          double clock_ghz);
+
+// Shard of each group under `policy`.  `group_load` is only read by
+// load-aware (pass group_service_seconds() output; round-robin accepts an
+// empty vector).  Aborts (PP_CHECK) on an unknown policy name - CLI layers
+// validate first (bench_util.h) and exit 2 with the registered list.
+std::vector<uint32_t> place_groups(const std::string& policy,
+                                   const std::vector<double>& group_load,
+                                   uint32_t n_groups, uint32_t n_shards);
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_PLACEMENT_H

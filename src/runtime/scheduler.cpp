@@ -13,7 +13,9 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "pusch/complexity.h"
+#include "runtime/admission.h"
 #include "runtime/backend.h"
+#include "runtime/placement.h"
 
 namespace pp::runtime {
 
@@ -89,33 +91,67 @@ Slot_scheduler::Slot_scheduler(Scheduler_options opt) : opt_(std::move(opt)) {}
 
 Schedule_result Slot_scheduler::run(const Slot_source& src) const {
   const uint64_t n_slots = src.n_slots();
-
-  uint32_t workers = opt_.workers;
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  if (workers > n_slots) {
-    workers = static_cast<uint32_t>(std::max<uint64_t>(n_slots, 1));
-  }
+  const uint32_t n_shards = std::max(1u, opt_.shards);
+  const uint32_t service_units = std::max(1u, opt_.service_units);
 
   const Pipeline pipeline = uplink_pipeline(opt_.cluster, opt_.uplink);
 
   // Probe the backend once for the split and cycle-accuracy capabilities
   // (cheap: intra = 1 spawns no pool threads).
-  bool pipelined = opt_.pipelined;
+  bool pipelined = opt_.pipelined && !opt_.virtual_only;
   bool cycle_accurate = false;
   {
     const auto probe = make_backend(opt_.backend, 1);
-    cycle_accurate = probe->cycle_accurate();
+    cycle_accurate = probe->cycle_accurate() && !opt_.virtual_only;
     pipelined = pipelined && probe->can_split();
   }
 
-  // Workers pull global slot indices from the cursor and write results into
-  // their own pre-sized element - no locks, no shared mutable kernel state
-  // (each worker or worker-thread instantiates a private Backend; the
-  // lazily-built twiddle / QAM tables are call_once-guarded and immutable
-  // afterwards).  `jobs` is filled alongside: job(i) is pure, so whichever
-  // thread resolves index i writes the same descriptor.
-  std::vector<Slot_result> slots(n_slots);
+  // ---- serial pre-pass: resolve, place, admit --------------------------
+  // job(i) is pure and cheap (the expensive scenario construction stays in
+  // the workers), so resolving the whole stream serially keeps the
+  // placement and admission decisions trivially host-independent.
   std::vector<Slot_job> jobs(n_slots);
+  for (uint64_t i = 0; i < n_slots; ++i) jobs[i] = src.job(i);
+
+  const std::vector<uint32_t> shard_of_group = place_groups(
+      opt_.placement,
+      opt_.placement == "load-aware"
+          ? group_service_seconds(jobs, src.n_groups(), opt_.cluster,
+                                  opt_.clock_ghz)
+          : std::vector<double>(),
+      src.n_groups(), n_shards);
+
+  Admission_options aopt;
+  aopt.policy = overload_from_name(opt_.overload);
+  aopt.queue_limit = opt_.queue_limit;
+  aopt.min_ue = opt_.degrade_min_ue;
+  const std::vector<Admission_verdict> verdicts =
+      admit_jobs(jobs, shard_of_group, n_shards, service_units, opt_.cluster,
+                 opt_.clock_ghz, aopt);
+
+  // Compact execution stream: dropped jobs are shed before any backend
+  // sees them - that is the point of admission control.
+  std::vector<uint64_t> exec;
+  exec.reserve(n_slots);
+  for (uint64_t i = 0; i < n_slots; ++i) {
+    if (verdicts[i].outcome != Admission_verdict::Outcome::dropped) {
+      exec.push_back(i);
+    }
+  }
+
+  uint32_t workers = opt_.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  if (workers > exec.size()) {
+    workers = static_cast<uint32_t>(std::max<size_t>(exec.size(), 1));
+  }
+
+  // Workers pull positions in the admitted stream from the cursor and write
+  // results into their own pre-sized element - no locks, no shared mutable
+  // kernel state (each worker or worker-thread instantiates a private
+  // Backend; the lazily-built twiddle / QAM tables are call_once-guarded
+  // and immutable afterwards).  Scenarios come from the admission verdict's
+  // final config, so a degraded slot executes its re-planned layer count.
+  std::vector<Slot_result> slots(n_slots);
   std::vector<double> wall_service(n_slots, 0.0);
   std::atomic<uint64_t> cursor{0};
 
@@ -124,10 +160,10 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
     const std::unique_ptr<Backend> backend =
         make_backend(opt_.backend, opt_.intra);
     for (;;) {
-      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_slots) break;
-      jobs[i] = src.job(i);
-      const phy::Uplink_scenario sc(jobs[i].cfg);
+      const uint64_t p = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (p >= exec.size()) break;
+      const uint64_t i = exec[p];
+      const phy::Uplink_scenario sc(verdicts[i].cfg);
       const auto t0 = Clock::now();
       slots[i] = pipeline.execute(sc, *backend);
       wall_service[i] = seconds_since(t0);
@@ -141,10 +177,10 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
     const std::unique_ptr<Backend> backend =
         make_backend(opt_.backend, opt_.intra);
     for (;;) {
-      const uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_slots) break;
-      jobs[i] = src.job(i);
-      auto sc = std::make_unique<const phy::Uplink_scenario>(jobs[i].cfg);
+      const uint64_t p = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (p >= exec.size()) break;
+      const uint64_t i = exec[p];
+      auto sc = std::make_unique<const phy::Uplink_scenario>(verdicts[i].cfg);
       const auto t0 = Clock::now();
       Slot_front front = backend->run_front(pipeline, *sc);
       const double dt = seconds_since(t0);
@@ -164,7 +200,7 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
   };
 
   const auto t0 = Clock::now();
-  if (n_slots > 0) {
+  if (!exec.empty() && !opt_.virtual_only) {
     if (pipelined) {
       std::vector<Front_mailbox> boxes(workers);
       std::vector<std::thread> pool;
@@ -190,43 +226,77 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
   // ---- deterministic virtual-time deadline accounting ------------------
   // Service times: simulated cycles at the virtual clock when the backend
   // reports them, the analytic MAC model otherwise; both are pure functions
-  // of the slot configuration.  The FCFS queue over `service_units` virtual
-  // clusters then yields per-slot latencies independent of host scheduling.
-  std::vector<double> arrival_s(n_slots), service_s(n_slots);
-  for (uint64_t i = 0; i < n_slots; ++i) {
-    arrival_s[i] = jobs[i].arrival_s;
-    service_s[i] =
+  // of the executed slot configuration.  Each shard drains its admitted
+  // jobs (arrival = index order within the shard) through its own FCFS
+  // queue over `service_units` virtual clusters, independent of host
+  // scheduling and of the other shards.
+  std::vector<std::vector<double>> shard_arrival(n_shards),
+      shard_service(n_shards);
+  std::vector<std::vector<uint64_t>> shard_jobs(n_shards);
+  for (const uint64_t i : exec) {
+    const uint32_t s = verdicts[i].shard;
+    shard_jobs[s].push_back(i);
+    shard_arrival[s].push_back(jobs[i].arrival_s);
+    shard_service[s].push_back(
         cycle_accurate
             ? static_cast<double>(slots[i].total_cycles()) /
                   (opt_.clock_ghz * 1e9)
-            : analytic_service_seconds(jobs[i].cfg, opt_.cluster,
-                                       opt_.clock_ghz);
+            : analytic_service_seconds(verdicts[i].cfg, opt_.cluster,
+                                       opt_.clock_ghz));
   }
-  const std::vector<double> completion_s =
-      fcfs_completion(arrival_s, service_s, std::max(1u, opt_.service_units));
+  std::vector<double> completion_s(n_slots, 0.0);
+  for (uint32_t s = 0; s < n_shards; ++s) {
+    const std::vector<double> comp =
+        fcfs_completion(shard_arrival[s], shard_service[s], service_units);
+    for (size_t k = 0; k < comp.size(); ++k) {
+      completion_s[shard_jobs[s][k]] = comp[k];
+    }
+  }
 
   // ---- aggregation, strictly in slot-index order -----------------------
   Schedule_result out;
   out.source = src.name();
   out.backend = opt_.backend;
+  out.placement = opt_.placement;
+  out.overload = opt_.overload;
   out.workers = workers;
   out.pipelined = pipelined;
   out.total_slots = n_slots;
   out.wall_seconds = wall_seconds;
+  out.shards.resize(n_shards);
 
   out.groups.resize(src.n_groups());
   for (uint32_t g = 0; g < src.n_groups(); ++g) {
     out.groups[g].label = src.group_label(g);
+    out.groups[g].shard = shard_of_group[g];
+    ++out.shards[shard_of_group[g]].groups;
   }
   std::vector<double> group_evm2(out.groups.size(), 0.0);
   std::vector<double> group_ber(out.groups.size(), 0.0);
   std::vector<double> group_sigma2(out.groups.size(), 0.0);
   for (uint64_t i = 0; i < n_slots; ++i) {
     const Slot_job& job = jobs[i];
-    const Slot_result& s = slots[i];
+    const Admission_verdict& v = verdicts[i];
     PP_CHECK(job.group < out.groups.size(), "slot job group out of range");
     auto& grp = out.groups[job.group];
+    auto& shard = out.shards[v.shard];
     ++grp.slots;
+    ++shard.slots;
+    if (v.outcome == Admission_verdict::Outcome::dropped) {
+      ++grp.dropped;
+      ++shard.dropped;
+      ++out.dropped;
+      continue;
+    }
+    ++grp.admitted;
+    ++shard.admitted;
+    ++out.admitted;
+    if (v.outcome == Admission_verdict::Outcome::degraded) {
+      ++grp.degraded;
+      ++shard.degraded;
+      ++out.degraded;
+    }
+    const Slot_result& s = slots[i];
     group_evm2[job.group] += s.evm * s.evm;
     group_ber[job.group] += s.ber;
     group_sigma2[job.group] += s.sigma2_hat;
@@ -234,25 +304,30 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
     out.total_cycles += s.total_cycles();
 
     const double latency = completion_s[i] - job.arrival_s;
-    out.latency.record(latency);
     grp.latency.record(latency);
-    out.wall_service.record(wall_service[i]);
+    shard.latency.record(latency);
+    if (!opt_.virtual_only) out.wall_service.record(wall_service[i]);
     out.virtual_makespan_s = std::max(out.virtual_makespan_s, completion_s[i]);
     if (job.budget_s > 0.0) {
       ++out.deadline_slots;
       ++grp.deadline_slots;
+      ++shard.deadline_slots;
       if (latency > job.budget_s) {
         ++out.deadline_misses;
         ++grp.deadline_misses;
+        ++shard.deadline_misses;
       }
     }
   }
+  // Global latency = exact bucket-wise merge of the shard histograms, in
+  // shard order (merging is commutative, so the order is cosmetic).
+  for (const auto& shard : out.shards) out.latency.merge(shard.latency);
   for (size_t g = 0; g < out.groups.size(); ++g) {
     auto& grp = out.groups[g];
-    if (grp.slots > 0) {
-      grp.evm = std::sqrt(group_evm2[g] / grp.slots);
-      grp.ber = group_ber[g] / grp.slots;
-      grp.sigma2_hat = group_sigma2[g] / grp.slots;
+    if (grp.admitted > 0) {
+      grp.evm = std::sqrt(group_evm2[g] / grp.admitted);
+      grp.ber = group_ber[g] / grp.admitted;
+      grp.sigma2_hat = group_sigma2[g] / grp.admitted;
     }
   }
   if (opt_.keep_slots) out.slots = std::move(slots);
@@ -264,26 +339,47 @@ bool Schedule_result::deterministic_equal(const Schedule_result& o) const {
   for (size_t g = 0; g < groups.size(); ++g) {
     const Group& a = groups[g];
     const Group& b = o.groups[g];
-    if (a.label != b.label || a.slots != b.slots || a.evm != b.evm ||
-        a.ber != b.ber || a.sigma2_hat != b.sigma2_hat ||
-        a.cycles != b.cycles || a.deadline_slots != b.deadline_slots ||
+    if (a.label != b.label || a.shard != b.shard || a.slots != b.slots ||
+        a.evm != b.evm || a.ber != b.ber || a.sigma2_hat != b.sigma2_hat ||
+        a.cycles != b.cycles || a.admitted != b.admitted ||
+        a.dropped != b.dropped || a.degraded != b.degraded ||
+        a.deadline_slots != b.deadline_slots ||
         a.deadline_misses != b.deadline_misses ||
         !(a.latency == b.latency)) {
       return false;
     }
   }
-  return latency == o.latency && deadline_slots == o.deadline_slots &&
+  if (shards.size() != o.shards.size()) return false;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const Shard& a = shards[s];
+    const Shard& b = o.shards[s];
+    if (a.groups != b.groups || a.slots != b.slots ||
+        a.admitted != b.admitted || a.dropped != b.dropped ||
+        a.degraded != b.degraded || a.deadline_slots != b.deadline_slots ||
+        a.deadline_misses != b.deadline_misses ||
+        !(a.latency == b.latency)) {
+      return false;
+    }
+  }
+  return latency == o.latency && admitted == o.admitted &&
+         dropped == o.dropped && degraded == o.degraded &&
+         deadline_slots == o.deadline_slots &&
          deadline_misses == o.deadline_misses &&
          virtual_makespan_s == o.virtual_makespan_s &&
          total_slots == o.total_slots && total_cycles == o.total_cycles;
 }
 
 std::string Schedule_result::str() const {
-  common::Table t({"group", "slots", "EVM %", "BER", "sigma2^", "cycles",
-                   "miss/dl", "p50 us", "p99 us"});
+  const bool serving = shards.size() > 1 || overload != "off";
+  common::Table t({"group", "shard", "slots", "adm/dr/dg", "EVM %", "BER",
+                   "sigma2^", "cycles", "miss/dl", "p50 us", "p99 us"});
   for (const auto& g : groups) {
     t.add_row({g.label,
+               common::Table::fmt(static_cast<uint64_t>(g.shard)),
                common::Table::fmt(static_cast<uint64_t>(g.slots)),
+               common::Table::fmt(g.admitted) + "/" +
+                   common::Table::fmt(g.dropped) + "/" +
+                   common::Table::fmt(g.degraded),
                common::Table::fmt(100.0 * g.evm, 2),
                common::Table::fmt(g.ber, 5),
                common::Table::fmt(g.sigma2_hat, 8),
@@ -293,7 +389,26 @@ std::string Schedule_result::str() const {
                common::Table::fmt(1e6 * g.latency.percentile(0.50), 2),
                common::Table::fmt(1e6 * g.latency.percentile(0.99), 2)});
   }
-  char footer[320];
+  std::string shard_table;
+  if (shards.size() > 1) {
+    common::Table st({"shard", "groups", "slots", "adm/dr/dg", "miss/dl",
+                      "p50 us", "p99 us"});
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const Shard& sh = shards[s];
+      st.add_row({common::Table::fmt(static_cast<uint64_t>(s)),
+                  common::Table::fmt(static_cast<uint64_t>(sh.groups)),
+                  common::Table::fmt(sh.slots),
+                  common::Table::fmt(sh.admitted) + "/" +
+                      common::Table::fmt(sh.dropped) + "/" +
+                      common::Table::fmt(sh.degraded),
+                  common::Table::fmt(sh.deadline_misses) + "/" +
+                      common::Table::fmt(sh.deadline_slots),
+                  common::Table::fmt(1e6 * sh.latency.percentile(0.50), 2),
+                  common::Table::fmt(1e6 * sh.latency.percentile(0.99), 2)});
+    }
+    shard_table = st.str();
+  }
+  char footer[448];
   std::snprintf(
       footer, sizeof footer,
       "%llu slots from '%s' on the %s backend, %u worker%s%s: %.3f s wall, "
@@ -306,7 +421,20 @@ std::string Schedule_result::str() const {
       1e6 * latency.percentile(0.99), 1e6 * latency.percentile(0.999),
       static_cast<unsigned long long>(deadline_misses),
       static_cast<unsigned long long>(deadline_slots));
-  return t.str() + footer;
+  std::string serving_line;
+  if (serving) {
+    char line[224];
+    std::snprintf(
+        line, sizeof line,
+        "serving: %zu shard%s, placement %s, overload %s: "
+        "%llu admitted, %llu dropped, %llu degraded\n",
+        shards.size(), shards.size() == 1 ? "" : "s", placement.c_str(),
+        overload.c_str(), static_cast<unsigned long long>(admitted),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(degraded));
+    serving_line = line;
+  }
+  return t.str() + shard_table + footer + serving_line;
 }
 
 }  // namespace pp::runtime

@@ -18,22 +18,34 @@
 //                     of slot n+1) and a back thread (CHE/NE/LMMSE MIMO of
 //                     slot n) connected by a double buffer, composing with
 //                     the "parallel" backend's intra-slot split.
+//   sharding          the serving engine runs as `shards` scheduler shards,
+//                     each owning one virtual cluster's worth of service
+//                     units and its own FCFS virtual-clock queue.  Source
+//                     groups (cells) are placed onto shards by a pluggable
+//                     policy (placement.h: round-robin, load-aware), and an
+//                     admission/overload controller (admission.h: off /
+//                     drop / queue / degrade) decides every job before
+//                     anything executes.  One shard with the policy off is
+//                     exactly the pre-sharding engine, bit for bit.
 //   deadline account  per-slot latency through a deterministic virtual-time
 //                     model: seeded arrivals from the source, service times
 //                     from simulated cycles (cycle-accurate backends) or
 //                     the paper's MAC-complexity model (host backends), and
-//                     an FCFS queue over `service_units` virtual clusters
-//                     (latency.h).  Misses are counted against each job's
-//                     numerology slot budget and latencies aggregated into
-//                     histograms with p50/p99/p999.
+//                     a per-shard FCFS queue over `service_units` virtual
+//                     clusters (latency.h).  Misses are counted against
+//                     each job's numerology slot budget and latencies
+//                     aggregated into per-shard histograms merged
+//                     (exact bucket-wise sums) into the global one.
 //
 // Determinism contract (docs/DETERMINISM.md): every per-slot result is a
-// pure function of (source, slot index), aggregation walks slots in index
-// order, and the virtual clock is independent of host scheduling - so the
-// slot results, group roll-ups, latency histograms and deadline-miss counts
-// are bit-identical for any (workers, intra) combination and with stage
-// pipelining on or off.  Wall-clock throughput and the measured per-slot
-// service histogram are the only host-dependent outputs.
+// pure function of (source, slot index), placement and admission run in a
+// serial pre-pass on the analytic predictor, aggregation walks slots in
+// index order, and the virtual clocks are independent of host scheduling -
+// so the slot results, group/shard roll-ups, admission counters, latency
+// histograms and deadline-miss counts are bit-identical for any
+// (workers, intra) combination, with stage pipelining on or off, on every
+// backend.  Wall-clock throughput and the measured per-slot service
+// histogram are the only host-dependent outputs.
 #ifndef PUSCHPOOL_RUNTIME_SCHEDULER_H
 #define PUSCHPOOL_RUNTIME_SCHEDULER_H
 
@@ -86,33 +98,75 @@ struct Scheduler_options {
   // or the analytic MAC model (host backends), scaled to seconds at this
   // clock.  The paper evaluates the clusters at 1 GHz.
   double clock_ghz = 1.0;
-  // Virtual clusters draining the job queue in the FCFS deadline model.
-  // Deliberately NOT tied to `workers`: the virtual clock must stay
+  // Virtual clusters draining each shard's job queue in the FCFS deadline
+  // model.  Deliberately NOT tied to `workers`: the virtual clock must stay
   // deterministic while the host worker count varies.
   uint32_t service_units = 1;
+
+  // ---- sharded serving engine ------------------------------------------
+  // Scheduler shards, each one virtual cluster of `service_units` servers
+  // with its own FCFS virtual-clock queue.  1 = the pre-sharding engine.
+  uint32_t shards = 1;
+  // Cell-to-shard placement policy (placement.h / placement_names()).
+  std::string placement = "round-robin";
+  // Admission/overload policy in front of each shard's queue (admission.h /
+  // overload_names()): "off", "drop", "queue" or "degrade".
+  std::string overload = "off";
+  uint32_t queue_limit = 8;     // "queue": max predicted backlog per shard
+  uint32_t degrade_min_ue = 1;  // "degrade": UE-layer floor
+  // Virtual-clock-only mode: skip backend execution entirely and score the
+  // deadline surface from the analytic MAC service model alone (capacity
+  // searches probe many load points and only need the queue behavior).
+  // Slot results, EVM/BER and cycles are zero; the latency/deadline/
+  // admission surface is bit-identical to a full run on any host backend.
+  bool virtual_only = false;
 };
 
 struct Schedule_result {
   struct Group {
     std::string label;
-    uint32_t slots = 0;
-    double evm = 0.0;         // rms over the group's slots
-    double ber = 0.0;         // mean over the group's slots
+    uint32_t shard = 0;       // shard this group's cell was placed on
+    uint32_t slots = 0;       // jobs placed (admitted + dropped)
+    double evm = 0.0;         // rms over the group's executed slots
+    double ber = 0.0;         // mean over the group's executed slots
     double sigma2_hat = 0.0;  // mean NE output
     uint64_t cycles = 0;      // summed simulated cycles (0 on host backends)
-    uint64_t deadline_slots = 0;   // slots that carried a budget
+    uint64_t admitted = 0;    // executed as planned or degraded
+    uint64_t dropped = 0;     // shed by the admission controller
+    uint64_t degraded = 0;    // admitted with fewer UE layers
+    uint64_t deadline_slots = 0;   // executed slots that carried a budget
     uint64_t deadline_misses = 0;  // virtual latency above the budget
     Latency_histogram latency;     // virtual-time latency of these slots
   };
   std::vector<Group> groups;
-  // Per-slot results in stream order (empty when keep_slots is off).
+
+  // Per-shard serving roll-up (one entry per scheduler shard; a single
+  // entry when the engine runs unsharded).
+  struct Shard {
+    uint32_t groups = 0;      // cells placed on this shard
+    uint64_t slots = 0;       // jobs placed (admitted + dropped)
+    uint64_t admitted = 0;
+    uint64_t dropped = 0;
+    uint64_t degraded = 0;
+    uint64_t deadline_slots = 0;
+    uint64_t deadline_misses = 0;
+    Latency_histogram latency;  // this shard's virtual-clock latencies
+  };
+  std::vector<Shard> shards;
+
+  // Per-slot results in stream order (empty when keep_slots is off;
+  // dropped slots keep a default-constructed Slot_result).
   std::vector<Slot_result> slots;
 
-  // Virtual-time (deterministic) latency surface.
-  Latency_histogram latency;   // all slots
+  // Virtual-time (deterministic) latency surface.  The global histogram is
+  // the exact bucket-wise merge of the per-shard histograms.
+  Latency_histogram latency;   // all executed slots
+  uint64_t admitted = 0;
+  uint64_t dropped = 0;
+  uint64_t degraded = 0;
   uint64_t deadline_slots = 0;
   uint64_t deadline_misses = 0;
-  double virtual_makespan_s = 0.0;  // last completion on the virtual clock
+  double virtual_makespan_s = 0.0;  // last completion on any shard's clock
 
   // Host-dependent surface: measured per-slot service times and wall clock.
   Latency_histogram wall_service;
@@ -120,6 +174,8 @@ struct Schedule_result {
 
   std::string source;
   std::string backend;
+  std::string placement;  // effective placement policy name
+  std::string overload;   // effective overload policy name
   uint32_t workers = 0;
   bool pipelined = false;  // effective setting (false if backend can't split)
   uint64_t total_slots = 0;
@@ -135,15 +191,17 @@ struct Schedule_result {
   }
 
   // Whole-surface equality of everything the determinism contract covers
-  // (groups, latency histograms, deadline counters, virtual makespan,
-  // cycle/slot totals) - deliberately excluding the host-dependent fields
-  // (wall clock, wall-service histogram, workers, pipelined).  This is the
-  // single definition the worker-invariance re-checks use
-  // (bench_serve_latency, tests/test_scheduler.cpp), so a new
+  // (groups, shards, admission counters, latency histograms, deadline
+  // counters, virtual makespan, cycle/slot totals) - deliberately excluding
+  // the host-dependent fields (wall clock, wall-service histogram, workers,
+  // pipelined).  This is the single definition the worker-invariance
+  // re-checks use (bench_serve_latency, tests/test_scheduler.cpp), so a new
   // deterministic field only needs adding here.
   bool deterministic_equal(const Schedule_result& o) const;
 
-  // ASCII per-group table plus a latency/deadline/throughput footer.
+  // ASCII per-group table plus a latency/deadline/throughput footer; adds
+  // a per-shard table and a serving summary line when the engine runs
+  // sharded or with an overload policy.
   std::string str() const;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "phy/qam.h"
 #include "runtime/sweep.h"
 
 namespace pp::runtime {
@@ -75,6 +76,23 @@ Traffic_source::Traffic_source(Traffic_config cfg) : cfg_(std::move(cfg)) {
 
     next_s[c] += exp_gap(rng[c], cell.slot_seconds() / cell.load);
   }
+}
+
+uint64_t cell_bits_per_slot(const Traffic_cell& cell,
+                            const Traffic_config& cfg) {
+  PP_CHECK(cfg.n_symb > cfg.n_pilot_symb,
+           "a slot needs at least one data symbol");
+  return uint64_t{cell.n_ue} * (cfg.n_symb - cfg.n_pilot_symb) *
+         cell.fft_size * phy::qam_bits(cell.qam);
+}
+
+double offered_bits_per_second(const Traffic_config& cfg) {
+  double bps = 0.0;
+  for (const auto& cell : cfg.cells) {
+    bps += static_cast<double>(cell_bits_per_slot(cell, cfg)) * cell.load /
+           cell.slot_seconds();
+  }
+  return bps;
 }
 
 std::string Traffic_source::group_label(uint32_t group) const {

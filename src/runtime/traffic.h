@@ -70,6 +70,18 @@ struct Traffic_config {
   uint32_t coherence = 16;
 };
 
+// Payload bits one slot of `cell` demodulates: layers x data symbols x
+// sub-carriers x QAM bits - the numerator of every offered-throughput
+// figure (an integer product, exact in doubles).
+uint64_t cell_bits_per_slot(const Traffic_cell& cell,
+                            const Traffic_config& cfg);
+
+// Aggregate offered uplink throughput of `cfg` at its configured per-cell
+// loads, in bits per second of virtual time: sum over cells of
+// bits_per_slot x (load / slot_duration).  bench_capacity scales this by
+// the capacity search's load multiplier for the Gb/s headline.
+double offered_bits_per_second(const Traffic_config& cfg);
+
 class Traffic_source final : public Slot_source {
  public:
   explicit Traffic_source(Traffic_config cfg);

@@ -1,0 +1,216 @@
+// Admission / overload controller (runtime/admission.h).
+//
+// The controller's verdict stream is a pure function of (jobs, placement,
+// policy, cluster, clock) on the analytic predictor - these tests pin the
+// per-policy semantics on hand-built job streams where the FCFS recurrence
+// can be followed by eye.
+#include <gtest/gtest.h>
+
+#include "runtime/admission.h"
+#include "runtime/scheduler.h"
+
+namespace {
+
+using namespace pp;
+using runtime::Admission_options;
+using runtime::Admission_verdict;
+using runtime::admit_jobs;
+using runtime::Overload_policy;
+using Outcome = Admission_verdict::Outcome;
+
+// A job stream of `n` identical slots in one group, arriving `gap_s` apart
+// with budget `budget_s`.  The analytic service time of the config is the
+// knob the tests scale budgets and gaps against.
+std::vector<runtime::Slot_job> uniform_jobs(size_t n, double gap_s,
+                                            double budget_s) {
+  phy::Uplink_config cfg;
+  cfg.n_sc = 16;
+  cfg.fft_size = 16;
+  cfg.n_ue = 4;
+  cfg.n_rx = 4;
+  cfg.n_beams = 4;
+  cfg.n_symb = 4;
+  cfg.n_pilot_symb = 2;
+  cfg.sigma2 = 1e-3;
+  std::vector<runtime::Slot_job> jobs(n);
+  for (size_t i = 0; i < n; ++i) {
+    jobs[i].index = i;
+    jobs[i].group = 0;
+    jobs[i].cfg = cfg;
+    jobs[i].arrival_s = gap_s * static_cast<double>(i);
+    jobs[i].budget_s = budget_s;
+  }
+  return jobs;
+}
+
+double service_of(const std::vector<runtime::Slot_job>& jobs) {
+  return runtime::analytic_service_seconds(
+      jobs[0].cfg, arch::Cluster_config::minipool(), 1.0);
+}
+
+std::vector<Admission_verdict> run(const std::vector<runtime::Slot_job>& jobs,
+                                   const Admission_options& opt,
+                                   uint32_t n_shards = 1) {
+  std::vector<uint32_t> shard_of_group(1, 0);
+  return admit_jobs(jobs, shard_of_group, n_shards, 1,
+                    arch::Cluster_config::minipool(), 1.0, opt);
+}
+
+TEST(Admission, RegistryListsAllPoliciesAndRoundTrips) {
+  const auto names = runtime::overload_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "off");
+  EXPECT_EQ(names[1], "drop");
+  EXPECT_EQ(names[2], "queue");
+  EXPECT_EQ(names[3], "degrade");
+  for (const auto& n : names) EXPECT_TRUE(runtime::is_overload_name(n));
+  EXPECT_FALSE(runtime::is_overload_name("shed"));
+  EXPECT_EQ(runtime::overload_from_name("degrade"),
+            Overload_policy::degrade);
+  EXPECT_DEATH(runtime::overload_from_name("shed"),
+               "unknown overload policy");
+}
+
+TEST(Admission, OffAdmitsEverythingAndPredictsTheFcfsDelay) {
+  // Back-to-back arrivals (gap = 0) on one server: job i waits i services.
+  const auto jobs = uniform_jobs(4, 0.0, 0.0);
+  const double s = service_of(jobs);
+  const auto v = run(jobs, Admission_options{});
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].outcome, Outcome::admitted) << i;
+    EXPECT_EQ(v[i].predicted_delay_s, static_cast<double>(i + 1) * s) << i;
+  }
+}
+
+TEST(Admission, DropShedsOverBudgetJobsAndFreesTheClock) {
+  // Budget = 1.5 services: with everything arriving at t = 0, job 0 fits
+  // (delay s), job 1 fits (delay 2s? no - 2s > 1.5s, dropped).  Because a
+  // dropped job never advances the clock, job 2 sees the same queue as
+  // job 1 and is dropped too, and so on: exactly one admission.
+  const auto jobs = uniform_jobs(4, 0.0, 0.0);
+  auto deadlined = jobs;
+  const double s = service_of(jobs);
+  for (auto& j : deadlined) j.budget_s = 1.5 * s;
+  Admission_options opt;
+  opt.policy = Overload_policy::drop;
+  const auto v = run(deadlined, opt);
+  EXPECT_EQ(v[0].outcome, Outcome::admitted);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].outcome, Outcome::dropped) << i;
+    EXPECT_EQ(v[i].predicted_delay_s, 2.0 * s) << i;  // clock never moved
+  }
+}
+
+TEST(Admission, DropIgnoresBudgetlessJobs) {
+  // Batch jobs (budget 0) are never shed, however deep the queue.
+  const auto jobs = uniform_jobs(8, 0.0, 0.0);
+  Admission_options opt;
+  opt.policy = Overload_policy::drop;
+  for (const auto& v : run(jobs, opt)) {
+    EXPECT_EQ(v.outcome, Outcome::admitted);
+  }
+}
+
+TEST(Admission, QueueDropsAtTheBacklogLimitAndDrainsOverTime) {
+  // All arrive at t = 0, limit 2.  The backlog counts jobs *waiting*
+  // (predicted start strictly after the arrival), not the one in service:
+  // job 0 starts immediately, jobs 1,2 queue with backlogs 0,1, job 3 sees
+  // backlog 2 -> dropped, and job 4 likewise (drops free no backlog).
+  const auto burst = uniform_jobs(5, 0.0, 0.0);
+  Admission_options opt;
+  opt.policy = Overload_policy::queue;
+  opt.queue_limit = 2;
+  const auto v = run(burst, opt);
+  EXPECT_EQ(v[0].outcome, Outcome::admitted);
+  EXPECT_EQ(v[1].outcome, Outcome::admitted);
+  EXPECT_EQ(v[2].outcome, Outcome::admitted);
+  EXPECT_EQ(v[3].outcome, Outcome::dropped);
+  EXPECT_EQ(v[4].outcome, Outcome::dropped);
+
+  // Spaced arrivals (gap > service) never build a backlog: all admitted.
+  const double s = service_of(burst);
+  const auto spaced = uniform_jobs(4, 2.0 * s, 0.0);
+  for (const auto& sv : run(spaced, opt)) {
+    EXPECT_EQ(sv.outcome, Outcome::admitted);
+  }
+}
+
+TEST(Admission, DegradeShedsLayersUntilTheBudgetHolds) {
+  // One job, budget below its 4-layer service time but above some smaller
+  // layer count's: the controller must land on the largest n_ue that fits.
+  auto jobs = uniform_jobs(1, 0.0, 0.0);
+  const double s4 = service_of(jobs);
+  auto s_at = [&](uint32_t n_ue) {
+    return runtime::analytic_service_seconds(
+        phy::degrade_to_layers(jobs[0].cfg, n_ue),
+        arch::Cluster_config::minipool(), 1.0);
+  };
+  ASSERT_LT(s_at(2), s4);  // fewer layers must be cheaper
+  jobs[0].budget_s = 0.5 * (s_at(2) + s_at(3));  // fits 2 layers, not 3
+  Admission_options opt;
+  opt.policy = Overload_policy::degrade;
+  const auto v = run(jobs, opt);
+  EXPECT_EQ(v[0].outcome, Outcome::degraded);
+  EXPECT_EQ(v[0].cfg.n_ue, 2u);
+  EXPECT_EQ(v[0].predicted_delay_s, s_at(2));
+  // The re-planned config keeps the per-layer SNR: sigma2 scales with n_ue.
+  EXPECT_EQ(v[0].cfg.sigma2, jobs[0].cfg.sigma2 * 2.0 / 4.0);
+}
+
+TEST(Admission, DegradeStopsAtTheFloorAndAlwaysAdmits) {
+  // Budget far below even one layer's service: degrade bottoms out at
+  // min_ue and still admits (degrade never sheds).
+  auto jobs = uniform_jobs(2, 0.0, 0.0);
+  for (auto& j : jobs) j.budget_s = 1e-12;
+  Admission_options opt;
+  opt.policy = Overload_policy::degrade;
+  opt.min_ue = 2;
+  const auto v = run(jobs, opt);
+  for (const auto& verdict : v) {
+    EXPECT_EQ(verdict.outcome, Outcome::degraded);
+    EXPECT_EQ(verdict.cfg.n_ue, 2u);
+  }
+  // A job already at the floor is admitted unchanged, not marked degraded.
+  auto floor_jobs = uniform_jobs(1, 0.0, 0.0);
+  floor_jobs[0].cfg = phy::degrade_to_layers(floor_jobs[0].cfg, 2);
+  floor_jobs[0].budget_s = 1e-12;
+  const auto fv = run(floor_jobs, opt);
+  EXPECT_EQ(fv[0].outcome, Outcome::admitted);
+  EXPECT_EQ(fv[0].cfg.n_ue, 2u);
+}
+
+TEST(Admission, ShardsKeepIndependentClocks) {
+  // Two groups on two shards: each shard only queues its own jobs, so a
+  // burst on group 0 never delays group 1.
+  auto jobs = uniform_jobs(6, 0.0, 0.0);
+  for (size_t i = 0; i < jobs.size(); ++i) jobs[i].group = i % 2;
+  const double s = service_of(jobs);
+  std::vector<uint32_t> shard_of_group = {0, 1};
+  Admission_options opt;
+  const auto v = admit_jobs(jobs, shard_of_group, 2, 1,
+                            arch::Cluster_config::minipool(), 1.0, opt);
+  // Per shard: 3 back-to-back jobs, delays s, 2s, 3s.
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].shard, i % 2) << i;
+    EXPECT_EQ(v[i].predicted_delay_s, static_cast<double>(i / 2 + 1) * s)
+        << i;
+  }
+}
+
+TEST(Admission, VerdictStreamIsDeterministic) {
+  auto jobs = uniform_jobs(16, 1e-6, 5e-6);
+  Admission_options opt;
+  opt.policy = Overload_policy::drop;
+  const auto a = run(jobs, opt);
+  const auto b = run(jobs, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_EQ(a[i].shard, b[i].shard);
+    EXPECT_EQ(a[i].predicted_delay_s, b[i].predicted_delay_s);
+    EXPECT_EQ(a[i].cfg.n_ue, b[i].cfg.n_ue);
+    EXPECT_EQ(a[i].cfg.sigma2, b[i].cfg.sigma2);
+  }
+}
+
+}  // namespace

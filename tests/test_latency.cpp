@@ -89,6 +89,65 @@ TEST(Latency, EqualityIsWholeDistribution) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(Latency, MergeEqualsRecordingTheUnion) {
+  // merge() is an exact bucket-wise sum: folding b into a must equal the
+  // histogram that recorded both value sets directly, bucket by bucket.
+  Latency_histogram a, b, whole;
+  const double v1 = std::ldexp(1.0, -12);
+  const double v2 = std::ldexp(19.0 / 16.0, -12);  // same octave, sub-bucket 3
+  const double v3 = std::ldexp(1.0, -5);
+  for (int i = 0; i < 7; ++i) a.record(v1);
+  for (int i = 0; i < 2; ++i) b.record(v2);
+  b.record(v3);
+  for (int i = 0; i < 7; ++i) whole.record(v1);
+  for (int i = 0; i < 2; ++i) whole.record(v2);
+  whole.record(v3);
+
+  a.merge(b);
+  EXPECT_TRUE(a == whole);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.max_recorded(), v3);
+  EXPECT_EQ(a.bucket_count(Latency_histogram::bucket_of(v1)), 7u);
+  EXPECT_EQ(a.bucket_count(Latency_histogram::bucket_of(v2)), 2u);
+}
+
+TEST(Latency, MergePinsQuantilesAtExactBucketEdges) {
+  // Shard-style fold: two halves of a distribution merged must answer the
+  // same percentile edges as the union - all expectations are exact ldexp
+  // bucket edges, the determinism contract's currency.
+  Latency_histogram lo, hi;
+  const double v1 = std::ldexp(1.0, -10);
+  const double v2 = std::ldexp(1.0, -8);
+  const double v3 = std::ldexp(1.0, -6);
+  for (int i = 0; i < 90; ++i) lo.record(v1);
+  for (int i = 0; i < 9; ++i) hi.record(v2);
+  hi.record(v3);
+  lo.merge(hi);
+  ASSERT_EQ(lo.count(), 100u);
+  EXPECT_EQ(lo.percentile(0.50), std::ldexp(17.0 / 16.0, -10));
+  EXPECT_EQ(lo.percentile(0.99), std::ldexp(17.0 / 16.0, -8));
+  EXPECT_EQ(lo.percentile(0.999), std::ldexp(17.0 / 16.0, -6));
+}
+
+TEST(Latency, MergeBoundaryCases) {
+  // Empty-into-empty, empty-into-filled, filled-into-empty; clamped
+  // under/overflow buckets merge like any other bucket.
+  Latency_histogram empty, other;
+  empty.merge(Latency_histogram{});
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.percentile(0.99), 0.0);
+
+  other.record(1e-12);  // underflow clamp -> bucket 0
+  other.record(1e9);    // overflow clamp -> last bucket
+  Latency_histogram target;
+  target.merge(other);
+  EXPECT_TRUE(target == other);
+  EXPECT_EQ(target.bucket_count(0), 1u);
+  EXPECT_EQ(target.bucket_count(Latency_histogram::kBuckets - 1), 1u);
+  target.merge(empty);
+  EXPECT_TRUE(target == other);  // merging empty is the identity
+}
+
 TEST(Latency, FcfsSingleServerQueuesInOrder) {
   // Three jobs, all at t=0, 2 s service each: completions 2, 4, 6.
   const auto c = fcfs_completion({0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}, 1);

@@ -147,5 +147,35 @@ TEST(Report, EmitHonorsJsonFlag) {
   EXPECT_EQ(emit(rep, common::Cli(3, const_cast<char**>(bad))), 1);
 }
 
+TEST(Report, PlacementFromCliValidatesAgainstTheRegistry) {
+  const char* good[] = {"prog", "--placement", "load-aware"};
+  EXPECT_EQ(placement_from_cli(common::Cli(3, const_cast<char**>(good))),
+            "load-aware");
+  const char* none[] = {"prog"};
+  EXPECT_EQ(placement_from_cli(common::Cli(1, const_cast<char**>(none))),
+            "round-robin");
+  // Unknown names exit 2 with the registered list - the same convention as
+  // --backend/--arch, so scripts and users get choices, not an abort.
+  const char* bad[] = {"prog", "--placement", "random"};
+  EXPECT_EXIT(placement_from_cli(common::Cli(3, const_cast<char**>(bad))),
+              ::testing::ExitedWithCode(2),
+              "unknown placement 'random' for --placement; "
+              "registered: round-robin load-aware");
+}
+
+TEST(Report, OverloadFromCliValidatesAgainstTheRegistry) {
+  const char* good[] = {"prog", "--overload", "degrade"};
+  EXPECT_EQ(overload_from_cli(common::Cli(3, const_cast<char**>(good))),
+            "degrade");
+  const char* none[] = {"prog"};
+  EXPECT_EQ(overload_from_cli(common::Cli(1, const_cast<char**>(none))),
+            "off");
+  const char* bad[] = {"prog", "--overload", "shed"};
+  EXPECT_EXIT(overload_from_cli(common::Cli(3, const_cast<char**>(bad))),
+              ::testing::ExitedWithCode(2),
+              "unknown policy 'shed' for --overload; "
+              "registered: off drop queue degrade");
+}
+
 }  // namespace
 }  // namespace pp::bench

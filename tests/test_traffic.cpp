@@ -119,4 +119,17 @@ TEST(Traffic, GroupLabelsNameTheCells) {
   EXPECT_NE(src.group_label(1).find("fft256"), std::string::npos);
 }
 
+TEST(Traffic, OfferedThroughputFollowsTheCellArithmetic) {
+  const Traffic_config cfg = two_cell_config(4);
+  // Cell a: 2 UE x (4-2) data symbols x 64 carriers x 4 QAM bits.
+  EXPECT_EQ(runtime::cell_bits_per_slot(cfg.cells[0], cfg), 1024u);
+  // Cell b: 4 UE x 2 x 256 x 6.
+  EXPECT_EQ(runtime::cell_bits_per_slot(cfg.cells[1], cfg), 12288u);
+  // Offered bits/s: bits_per_slot x load / slot_duration, summed - all
+  // exact binary operations, so the equality is bit-level.
+  const double want = 1024.0 * 0.8 / cfg.cells[0].slot_seconds() +
+                      12288.0 * 0.4 / cfg.cells[1].slot_seconds();
+  EXPECT_EQ(runtime::offered_bits_per_second(cfg), want);
+}
+
 }  // namespace
