@@ -16,11 +16,12 @@ using namespace pp;
 using common::Table;
 
 void run(const arch::Cluster_config& cluster, bool batch, bool ext,
-         bench::Report& rep) {
+         uint32_t sim_shards, bench::Report& rep) {
   pusch::Chain_config cfg;
   cfg.cluster = cluster;
   cfg.batch_cholesky = batch;
   cfg.include_estimation = ext;
+  cfg.sim_shards = sim_shards;
   const auto res = pusch::run_use_case(cfg);
 
   const std::string config_name =
@@ -78,11 +79,15 @@ int main(int argc, char** argv) {
                                 "PUSCH use-case roll-up");
 
   const bool ext = cli.has("--ext");
+  // --sim-shards N: measure the per-stage machines on N host threads; every
+  // N reports the same cycles (docs/DETERMINISM.md §5), so the knob stays
+  // out of the baseline metadata.
+  const uint32_t sim_shards = cli.get_u32("--sim-shards", 1);
   rep.add_meta("include_estimation", ext ? "1" : "0");
-  run(arch::Cluster_config::terapool(), false, ext, rep);
-  run(arch::Cluster_config::terapool(), true, ext, rep);
+  run(arch::Cluster_config::terapool(), false, ext, sim_shards, rep);
+  run(arch::Cluster_config::terapool(), true, ext, sim_shards, rep);
   if (cli.get("--arch", "both") == "both") {
-    run(arch::Cluster_config::mempool(), true, ext, rep);
+    run(arch::Cluster_config::mempool(), true, ext, sim_shards, rep);
   }
   return bench::emit(rep, cli);
 }

@@ -6,7 +6,7 @@
 // SIMD on (AVX2/NEON where the host supports it), and Reference_backend -
 // and reports the SIMD and fixed-vs-double speedups.  The scalar and SIMD
 // runs are checked bit-identical on every invocation (the contract of
-// docs/DETERMINISM.md section 6); sim parity is covered by
+// docs/DETERMINISM.md section 7); sim parity is covered by
 // tests/test_backend_fixed.cpp, not re-run here (the simulator is orders of
 // magnitude slower).
 //

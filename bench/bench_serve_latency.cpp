@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
   totals.metric("latency_p999", 1e6 * serial.latency.percentile(0.999), "us",
                 true, "exact");
   // The whole virtual-clock surface is bit-deterministic (DETERMINISM.md
-  // §5), so the makespan gates "exact" like its sibling latency metrics.
+  // §6), so the makespan gates "exact" like its sibling latency metrics.
   totals.metric("virtual_makespan_ms", 1e3 * serial.virtual_makespan_s, "ms",
                 true, "exact");
   totals.metric("worker_invariant", ok ? 1.0 : 0.0, "bool", true, "higher");

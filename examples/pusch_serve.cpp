@@ -25,7 +25,7 @@
 // clusters - so miss counts and latency percentiles are bit-identical for
 // any --workers and with --pipelined on or off (docs/DETERMINISM.md).
 //
-// Sharded serving (docs/DETERMINISM.md §7): --shards N runs N scheduler
+// Sharded serving (docs/DETERMINISM.md §8): --shards N runs N scheduler
 // shards, each its own FCFS virtual-clock queue of --servers clusters;
 // --placement picks how cells map onto shards and --overload puts an
 // admission controller (drop / queue / degrade, with --queue-limit and
@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
   opt.backend = bench::backend_from_cli(cli);
   opt.workers = cli.get_u32("--workers", 0);
   opt.intra = cli.get_u32("--intra", 1);
+  // --sim-shards N: run N concurrent simulated machines (sim backend only;
+  // bit-identical for every N, see docs/DETERMINISM.md §5).  Distinct from
+  // --shards, which splits the virtual-clock serving engine.
+  opt.sim_shards = cli.get_u32("--sim-shards", 0);
   opt.pipelined = cli.has("--pipelined");
   opt.cluster = bench::cluster_from_cli(cli, "minipool");
   opt.keep_slots = false;  // the CLI only reports the roll-up

@@ -101,9 +101,9 @@ int main(int argc, char** argv) {
     if (backend->cycle_accurate()) {
       std::printf("cycles per stage (whole slot):\n");
       for (const auto& st : res.stages) {
-        std::printf("  %-16s %10lu cycles over %3u kernel runs\n",
+        std::printf("  %-16s %10lu cycles over %3lu kernel runs\n",
                     st.name.c_str(), static_cast<unsigned long>(st.cycles),
-                    st.runs);
+                    static_cast<unsigned long>(st.runs));
       }
       std::printf("  %-16s %10lu cycles (%.3f ms at 1 GHz)\n", "total",
                   static_cast<unsigned long>(res.total_cycles()),

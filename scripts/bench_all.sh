@@ -65,6 +65,10 @@ run bench_table1_complexity bench_table1_complexity
 run bench_fig3_stage_share bench_fig3_stage_share
 run bench_fig4_access_latency bench_fig4_access_latency
 run bench_fig8c_cholesky_ipc bench_fig8c_cholesky_ipc
+# The full Fig. 9c roll-up - including the TeraPool rows - rides in the
+# quick subset since the simulator fast path (docs/DETERMINISM.md §5)
+# brought the whole binary under a second.
+run bench_fig9c_usecase bench_fig9c_usecase
 run bench_ablation_barrier bench_ablation_barrier
 run bench_throughput_sweep bench_throughput_sweep \
     --slots 1 --snr-points 2 --fft 64,256
@@ -88,7 +92,6 @@ if [[ "$MODE" == "full" ]]; then
   run bench_fig8a_fft_ipc bench_fig8a_fft_ipc
   run bench_fig8b_mmm_ipc bench_fig8b_mmm_ipc
   run bench_fig9_speedup bench_fig9_speedup
-  run bench_fig9c_usecase bench_fig9c_usecase
   run bench_ablation_mmm_window bench_ablation_mmm_window
   run bench_ablation_cholesky_mirror bench_ablation_cholesky_mirror
   run bench_ablation_isa bench_ablation_isa

@@ -13,7 +13,8 @@
 #
 # CHECK_TSAN=1 additionally builds the concurrency tests (slot scheduler,
 # sweep engine, traffic source, shared lazy tables, parallel + fixed
-# backends) under ThreadSanitizer in a separate build tree and runs them.
+# backends, and the sharded-sim differential/fuzz suites) under
+# ThreadSanitizer in a separate build tree and runs them.
 #
 # CHECK_UBSAN=1 additionally builds the fixed-point arithmetic, kernel and
 # fixed-backend tests under UndefinedBehaviorSanitizer (the Q15 layer's
@@ -60,6 +61,7 @@ echo "--- smoke: examples/quickstart ---"
 echo "--- smoke: 2-worker scenario sweep (small grid, all four backends) ---"
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/examples/pusch_sweep --workers 2 --backend sim --fft 64 --snr 20
+"$BUILD_DIR"/examples/pusch_sweep --backend sim --sim-shards 2 --fft 64 --snr 20
 "$BUILD_DIR"/examples/pusch_sweep --workers 1 --backend parallel --intra 2 \
     --fft 16,64 --snr 10,20,30
 "$BUILD_DIR"/examples/pusch_sweep --workers 1 --backend fixed --intra 2 \
@@ -74,6 +76,10 @@ echo "--- smoke: streaming traffic engine (pusch_serve + --list) ---"
 # deterministic deadline accounting, and the registry catalog listing.
 "$BUILD_DIR"/examples/pusch_serve --slots 16 --workers 2 --pipelined
 "$BUILD_DIR"/examples/pusch_serve --backend sim --slots 6 --clock-ghz 0.02
+# Sharded simulator: two concurrent machines must reproduce the unsharded
+# serve bit for bit (the CLI prints the same deterministic surface).
+"$BUILD_DIR"/examples/pusch_serve --backend sim --sim-shards 2 --slots 6 \
+    --clock-ghz 0.02
 "$BUILD_DIR"/examples/pusch_serve --list > /dev/null
 "$BUILD_DIR"/examples/pusch_sweep --list > /dev/null
 "$BUILD_DIR"/examples/pusch_uplink_e2e --list > /dev/null
@@ -131,10 +137,10 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_sweep test_thread_safety test_rng test_backend_parallel \
              test_backend_fixed test_scheduler test_traffic test_admission \
-             test_placement
+             test_placement test_sim_differential test_sim_fuzz
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
     -j "$JOBS" \
-    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement'
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement|SimDifferential|SimFuzz'
 fi
 
 if [[ "${CHECK_UBSAN:-0}" == "1" ]]; then

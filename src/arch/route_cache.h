@@ -1,0 +1,95 @@
+// Memoized address-map resolutions for the simulator's hot path.
+//
+// Every simulated L1 access has to answer two questions: which bank does
+// this word-interleaved address hit (Address_map::bank_of), and how far is
+// that bank from the issuing core (Cluster_config::locality +
+// load_use_latency)?  The general answers divide and modulo by topology
+// parameters on every access - measurable at TeraPool scale, where a slot
+// issues tens of millions of accesses.
+//
+// Both resolutions factor through small finite domains, so they memoize
+// exactly:
+//
+//   * bank_of(a) = a % n_banks collapses to a mask when the bank count is a
+//     power of two (true for every preset - topology parameters are all
+//     powers of two);
+//   * the (core, bank) latency depends only on (tile(core), tile(bank)), a
+//     direct-mapped n_tiles x n_tiles table of one-byte latencies (16 KiB at
+//     TeraPool's 128 tiles) indexed by shifts.
+//
+// The cache is *pure memoization*: it answers with exactly the values the
+// general Address_map/Cluster_config math produces (pinned by
+// tests/test_sim_differential.cpp against a build that bypasses it), and
+// fast() reports false for non-power-of-two geometries so callers can fall
+// back to the general path.
+#ifndef PUSCHPOOL_ARCH_ROUTE_CACHE_H
+#define PUSCHPOOL_ARCH_ROUTE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/topology.h"
+#include "common/check.h"
+
+namespace pp::arch {
+
+class Route_cache {
+ public:
+  explicit Route_cache(const Cluster_config& cfg) {
+    const uint32_t n_banks = cfg.n_banks();
+    const uint32_t per_tile = cfg.banks_per_tile();
+    fast_ = is_pow2(n_banks) && is_pow2(per_tile);
+    if (!fast_) return;
+    bank_mask_ = n_banks - 1;
+    tile_shift_ = log2_pow2(per_tile);
+    n_tiles_ = cfg.n_tiles();
+    lat_.resize(static_cast<size_t>(n_tiles_) * n_tiles_);
+    for (tile_id ct = 0; ct < n_tiles_; ++ct) {
+      for (tile_id bt = 0; bt < n_tiles_; ++bt) {
+        Locality loc = Locality::remote;
+        if (ct == bt) {
+          loc = Locality::tile;
+        } else if (ct / cfg.tiles_per_group == bt / cfg.tiles_per_group) {
+          loc = Locality::group;
+        }
+        const uint32_t lat = cfg.load_use_latency(loc);
+        PP_CHECK(lat <= 0xff, "route cache latency exceeds one byte");
+        lat_[static_cast<size_t>(ct) * n_tiles_ + bt] =
+            static_cast<uint8_t>(lat);
+      }
+    }
+  }
+
+  // False when the geometry defeats the mask/shift decode; callers must use
+  // the general Address_map/Cluster_config math instead.
+  bool fast() const { return fast_; }
+
+  bank_id bank_of(addr_t a) const { return a & bank_mask_; }
+
+  // Latency row of a core: one byte per destination tile.
+  const uint8_t* core_row(const Cluster_config& cfg, core_id c) const {
+    return lat_.data() + static_cast<size_t>(cfg.tile_of_core(c)) * n_tiles_;
+  }
+  uint32_t latency(const uint8_t* core_row, bank_id b) const {
+    return core_row[b >> tile_shift_];
+  }
+
+  static bool is_pow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+ private:
+  static uint32_t log2_pow2(uint32_t v) {
+    uint32_t s = 0;
+    while ((v >> s) != 1) ++s;
+    return s;
+  }
+
+  bool fast_ = false;
+  uint32_t bank_mask_ = 0;
+  uint32_t tile_shift_ = 0;
+  uint32_t n_tiles_ = 0;
+  std::vector<uint8_t> lat_;  // [tile(core)][tile(bank)] load-to-use cycles
+};
+
+}  // namespace pp::arch
+
+#endif  // PUSCHPOOL_ARCH_ROUTE_CACHE_H

@@ -135,6 +135,17 @@ sim::Prog Chol_batch::core_prog(sim::Core& c, uint32_t core) {
 }
 
 sim::Kernel_report Chol_batch::run() {
+  // The folded layout keeps every access of core i inside its own banks
+  // until the single closing barrier, whose counter lives in core 0's first
+  // local bank.  Declaring the ownership lets the fast path service whole
+  // factorizations inline (the machine checks the claim on every access and
+  // clears it when the launch returns).
+  const arch::Cluster_config& cfg = m_.config();
+  for (uint32_t i = 0; i < n_cores_; ++i) {
+    for (uint32_t k = 0; k < cfg.banks_per_core; ++k) {
+      m_.set_bank_owner(cfg.first_local_bank(i) + k, i);
+    }
+  }
   std::vector<sim::Machine::Launch> l;
   l.reserve(n_cores_);
   for (uint32_t i = 0; i < n_cores_; ++i) {
@@ -376,6 +387,14 @@ sim::Prog Trisolve_batch::core_prog(sim::Core& c, uint32_t core) {
 }
 
 sim::Kernel_report Trisolve_batch::run() {
+  // Same shape as Chol_batch: l_addr/v_addr keep each core inside its own
+  // banks, and the launch closes with a single barrier.
+  const arch::Cluster_config& cfg = m_.config();
+  for (uint32_t i = 0; i < n_cores_; ++i) {
+    for (uint32_t k = 0; k < cfg.banks_per_core; ++k) {
+      m_.set_bank_owner(cfg.first_local_bank(i) + k, i);
+    }
+  }
   std::vector<sim::Machine::Launch> l;
   l.reserve(n_cores_);
   for (uint32_t i = 0; i < n_cores_; ++i) {

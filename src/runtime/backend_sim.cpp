@@ -35,6 +35,7 @@ std::vector<cd> dequantize(const std::vector<cq15>& q, double scale) {
 void accumulate(Slot_result::Stage& st, const sim::Kernel_report& r) {
   st.cycles += r.cycles;
   st.instrs += r.instrs;
+  for (size_t k = 0; k < sim::n_stall_kinds; ++k) st.stall[k] += r.stall[k];
   ++st.runs;
 }
 

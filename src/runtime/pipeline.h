@@ -21,6 +21,7 @@
 #ifndef PUSCHPOOL_RUNTIME_PIPELINE_H
 #define PUSCHPOOL_RUNTIME_PIPELINE_H
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,29 @@ uint32_t resolve_fft_gangs(const arch::Cluster_config& cluster,
                            uint32_t fft_size, const Params& params,
                            uint32_t max_inst);
 
+// ---- analytic roll-up options (paper Fig. 9c) -----------------------------
+
+// How Pipeline::measure runs its per-stage simulations.  Every combination
+// of these knobs produces bit-identical Rollup_results: stages run on
+// independent fresh machines, inputs are bound in a serial pre-pass walking
+// stages in declaration order (so the shared stimulus Rng draws in a fixed
+// sequence), results merge by stage index, and cycle counts are
+// data-independent by the Kernel contract (kernel.h).  The differential
+// suite (tests/test_sim_differential.cpp) pins the invariances.
+struct Measure_options {
+  uint64_t seed = 2023;  // stimulus seed (cycle counts do not depend on it)
+  // Host threads running the per-stage machines (>= 1).  Stages are
+  // launched over common::Thread_pool with a static index partition.
+  uint32_t shards = 1;
+  // Reuse launch reports across measure() calls in this process: a stage's
+  // report on a fresh machine is a pure function of (cluster, kernel,
+  // params), so repeated configurations skip simulation entirely.
+  bool reuse_reports = true;
+  // Force the pre-batching reference scheduler (sim::Machine reference
+  // loop) for every stage; reports are kept apart from fast-path ones.
+  bool reference_loop = false;
+};
+
 // ---- analytic roll-up result (paper Fig. 9c) ------------------------------
 
 struct Rollup_stage {
@@ -96,12 +120,17 @@ struct Rollup_result {
 
 struct Slot_result {
   // Aggregated per-stage reports (cycles summed over the per-symbol runs;
-  // zero on backends that are not cycle-accurate).
+  // zero on backends that are not cycle-accurate).  Counters are 64-bit
+  // throughout: a sustained TeraPool serve trace accumulates > 4e9 WFI
+  // stall cycles per stage well before a slot count worth benchmarking,
+  // so 32-bit accumulators would silently wrap
+  // (tests/test_sim_differential.cpp pins the width).
   struct Stage {
     std::string name;
     uint64_t cycles = 0;
     uint64_t instrs = 0;
-    uint32_t runs = 0;
+    std::array<uint64_t, sim::n_stall_kinds> stall{};
+    uint64_t runs = 0;
   };
   std::vector<Stage> stages;
 
@@ -145,6 +174,7 @@ class Pipeline {
   // Analytic roll-up: measures each stage once (fresh machine per stage,
   // synthetic stimulus) and scales by its repetition count.
   Rollup_result measure(uint64_t seed = 2023) const;
+  Rollup_result measure(const Measure_options& opt) const;
 
   // Functional slot execution on the given backend.
   Slot_result execute(const phy::Uplink_scenario& sc, Backend& backend) const;

@@ -6,7 +6,7 @@
 // source group (a Traffic_source cell, a grid point): the whole group moves
 // as a unit, so a cell's slots always queue behind each other in arrival
 // order and the per-shard virtual clock stays a pure function of the source
-// (docs/DETERMINISM.md §7).
+// (docs/DETERMINISM.md §8).
 //
 // Policies (placement_names()):
 //   round-robin   group g -> shard g % n_shards.  Oblivious, stable under

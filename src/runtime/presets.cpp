@@ -145,7 +145,10 @@ Pipeline use_case_pipeline(const Use_case_options& opt) {
 }
 
 Rollup_result run_use_case(const Use_case_options& opt) {
-  return use_case_pipeline(opt).measure();
+  Measure_options mopt;
+  mopt.shards = std::max(1u, opt.sim_shards);
+  mopt.reuse_reports = opt.reuse_reports;
+  return use_case_pipeline(opt).measure(mopt);
 }
 
 Pipeline uplink_pipeline(const arch::Cluster_config& cluster,

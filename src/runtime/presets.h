@@ -23,6 +23,10 @@ struct Use_case_options {
   pusch::Pusch_dims dims;
   bool batch_cholesky = true;       // schedule 4 data symbols per batch
   bool include_estimation = false;  // extension: CHE/NE/gram/solve rows
+  // Roll-up measurement knobs (Measure_options): host threads for the
+  // per-stage machines and report reuse.  Bit-identical for any setting.
+  uint32_t sim_shards = 1;
+  bool reuse_reports = true;
 };
 
 Pipeline use_case_pipeline(const Use_case_options& opt);

@@ -88,6 +88,7 @@ Sweep_result Sweep_runner::run(const Sweep_grid& grid) const {
   sopt.cluster = opt_.cluster;
   sopt.uplink = opt_.uplink;
   sopt.keep_slots = opt_.keep_slots;
+  sopt.sim_shards = opt_.sim_shards;
 
   const Grid_source source(grid);
   Schedule_result sched = Slot_scheduler(sopt).run(source);

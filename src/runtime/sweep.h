@@ -100,6 +100,9 @@ struct Sweep_options {
   arch::Cluster_config cluster = arch::Cluster_config::minipool();
   Uplink_options uplink;  // preset knobs (FFT gangs, Cholesky batching)
   bool keep_slots = true;  // retain per-slot results (the bit-exact surface)
+  // Sim-backend host sharding (Scheduler_options::sim_shards): N concurrent
+  // single-threaded machines, bit-identical for every N.  0 = off.
+  uint32_t sim_shards = 0;
 };
 
 struct Sweep_result {

@@ -9,9 +9,19 @@
 // (hit in the shared per-tile L1 I$).  Loop bodies that fit in L0 hit after
 // the first iteration, so cores executing few iterations show a larger
 // instruction-stall fraction - the effect the paper reports for TeraPool.
+//
+// Both structures sit on the simulator's per-instruction fast path
+// (Core::issue), so they are sized to stay cache-resident: the site table is
+// 4096 entries (the check fires at 2047 live sites; the whole kernel corpus
+// registers a few hundred) and the L0 tags live inline in the core when the
+// configured capacity fits (64 instructions -> 16 lines in every preset).
+// Neither size choice is observable in simulated cycles: slot numbers depend
+// only on first-use order, and the tag array's content is identical either
+// way.
 #ifndef PUSCHPOOL_SIM_ICACHE_H
 #define PUSCHPOOL_SIM_ICACHE_H
 
+#include <array>
 #include <cstdint>
 #include <source_location>
 #include <vector>
@@ -37,24 +47,28 @@ class Site_registry {
     while (true) {
       Entry& e = table_[i];
       if (e.key == key) return e.first_slot;
-      if (e.key == 0) {
-        PP_CHECK(used_ + 1 < capacity / 2, "site registry overflow");
-        ++used_;
-        e.key = key;
-        e.first_slot = next_slot_;
-        next_slot_ += n_instrs;
-        return e.first_slot;
-      }
+      if (e.key == 0) return miss(e, key, n_instrs);
       i = (i + 1) & (capacity - 1);
     }
   }
 
  private:
-  static constexpr size_t capacity = 1 << 14;
   struct Entry {
     uint64_t key = 0;
     uint32_t first_slot = 0;
   };
+
+  // First execution of a call site: assign the next consecutive slot range.
+  uint32_t miss(Entry& e, uint64_t key, uint32_t n_instrs) {
+    PP_CHECK(used_ + 1 < capacity / 2, "site registry overflow");
+    ++used_;
+    e.key = key;
+    e.first_slot = next_slot_;
+    next_slot_ += n_instrs;
+    return e.first_slot;
+  }
+
+  static constexpr size_t capacity = 1 << 12;
   std::vector<Entry> table_;
   size_t used_ = 0;
   uint32_t next_slot_ = 0;
@@ -66,16 +80,30 @@ class L0_icache {
   void configure(uint32_t n_instrs) {
     n_lines_ = n_instrs / icache_line_instrs;
     if (n_lines_ == 0) n_lines_ = 1;
-    tags_.assign(n_lines_, ~0u);
+    pow2_mask_ = (n_lines_ & (n_lines_ - 1)) == 0 ? n_lines_ - 1 : 0u;
+    inline_.fill(~0u);
+    if (n_lines_ <= inline_lines) {
+      heap_.clear();
+    } else {
+      heap_.assign(n_lines_, ~0u);
+    }
   }
 
   // Touch the lines covering slots [first, first + n); returns missing lines.
   uint32_t touch(uint32_t first_slot, uint32_t n_instrs) {
+    uint32_t* tags = heap_.empty() ? inline_.data() : heap_.data();
     const uint32_t first_line = first_slot / icache_line_instrs;
     const uint32_t last_line = (first_slot + n_instrs - 1) / icache_line_instrs;
+    if (first_line == last_line) [[likely]] {
+      // Single-line issue (almost every op: ops span <= 4 slots).
+      uint32_t& tag = tags[index(first_line)];
+      if (tag == first_line) return 0;
+      tag = first_line;
+      return 1;
+    }
     uint32_t misses = 0;
     for (uint32_t line = first_line; line <= last_line; ++line) {
-      uint32_t& tag = tags_[line % n_lines_];
+      uint32_t& tag = tags[index(line)];
       if (tag != line) {
         tag = line;
         ++misses;
@@ -85,8 +113,22 @@ class L0_icache {
   }
 
  private:
+  uint32_t index(uint32_t line) const {
+    return pow2_mask_ ? (line & pow2_mask_) : (line % n_lines_);
+  }
+
+  // Every preset configures 64 instructions -> 16 lines, held inline in the
+  // Core (no heap indirection per issue); larger configs spill to the heap.
+  static constexpr uint32_t inline_lines = 32;
   uint32_t n_lines_ = 16;
-  std::vector<uint32_t> tags_ = std::vector<uint32_t>(16, ~0u);
+  uint32_t pow2_mask_ = 15;
+  std::array<uint32_t, inline_lines> inline_{
+      []() consteval {
+        std::array<uint32_t, inline_lines> a{};
+        a.fill(~0u);
+        return a;
+      }()};
+  std::vector<uint32_t> heap_;
 };
 
 }  // namespace pp::sim

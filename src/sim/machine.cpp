@@ -1,103 +1,27 @@
 #include "sim/machine.h"
 
+#include <bit>
+#include <cstdlib>
+
 namespace pp::sim {
 
+// Process-wide opt-out of the batching fast path: SIM_REFERENCE_LOOP=1 (any
+// value but "0") makes every Machine run the pre-batching scheduler.  The
+// differential suite uses this to hold an unmodified binary's cycles against
+// the fast path's.
+bool Machine::env_reference_loop() {
+  const char* v = std::getenv("SIM_REFERENCE_LOOP");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
 // ---------------------------------------------------------------------------
-// Core: instruction issue
+// Core: cold paths (wake CSR write, WFI suspension)
 // ---------------------------------------------------------------------------
 
-uint64_t Core::issue(const Sl& sl, uint32_t n_instr, uint64_t dep_a,
-                     uint64_t dep_b) {
-  // Instruction fetch: refill missing L0 lines from the shared L1 I$.
-  const uint32_t first_slot = machine->sites().lookup(sl, n_instr);
-  const uint32_t misses = l0.touch(first_slot, n_instr);
-  if (misses != 0) {
-    const uint64_t pen =
-        static_cast<uint64_t>(misses) * cfg->icache_refill_cycles;
-    stall(Stall::icache, pen);
-    t += pen;
-  }
-  // RAW: wait for operands.
-  const uint64_t dep = std::max(dep_a, dep_b);
-  if (dep > t) {
-    stall(Stall::raw, dep - t);
-    t = dep;
-  }
-  const uint64_t at = t;
-  instrs += n_instr;
-  t += n_instr;
-  return at;
-}
-
-uint64_t Core::div(uint64_t dep_a, uint64_t dep_b, Sl sl) {
-  // The divider is not pipelined: a second divide stalls until it frees up.
-  const uint64_t dep = std::max(dep_a, dep_b);
-  if (dep > t) {
-    stall(Stall::raw, dep - t);
-    t = dep;
-  }
-  if (div_free > t) {
-    stall(Stall::extunit, div_free - t);
-    t = div_free;
-  }
-  const uint64_t at = issue(sl, 1, 0, 0);
-  div_free = at + cfg->div_latency;
-  return at + cfg->div_latency;
-}
-
-uint32_t Core::lsu_acquire() {
-  const uint32_t depth = std::min(cfg->lsu_depth, max_lsu_depth);
-  uint32_t in_flight = 0;
-  uint32_t free_slot = depth;
-  uint64_t earliest = std::numeric_limits<uint64_t>::max();
-  uint32_t earliest_slot = 0;
-  for (uint32_t i = 0; i < depth; ++i) {
-    if (lsu_done[i] > t) {
-      ++in_flight;
-      if (lsu_done[i] < earliest) {
-        earliest = lsu_done[i];
-        earliest_slot = i;
-      }
-    } else {
-      free_slot = i;
-    }
-  }
-  if (in_flight == depth) {
-    stall(Stall::lsu, earliest - t);
-    t = earliest;
-    return earliest_slot;
-  }
-  return free_slot;
-}
-
-Core::Mem_awaiter Core::mem_op(Pending::Kind k, arch::addr_t a, uint32_t value,
-                               uint64_t dep, const Sl& sl) {
-  PP_CHECK(pending.kind == Pending::Kind::none,
-           "core issued a memory op while one is pending");
-  const uint32_t slot = lsu_acquire();
-  const uint64_t at = issue(sl, 1, dep, 0);
-  pending = Pending{k, a, value, at, slot};
-  return Mem_awaiter{*this};
-}
-
-Core::Mem_awaiter Core::load(arch::addr_t a, Sl sl) {
-  return mem_op(Pending::Kind::load, a, 0, 0, sl);
-}
-Core::Mem_awaiter Core::store(arch::addr_t a, uint32_t value, uint64_t dep,
-                              Sl sl) {
-  return mem_op(Pending::Kind::store, a, value, dep, sl);
-}
-Core::Mem_awaiter Core::amo_add(arch::addr_t a, uint32_t add, Sl sl) {
-  return mem_op(Pending::Kind::amo, a, add, 0, sl);
-}
-
-void Core::Mem_awaiter::await_suspend(std::coroutine_handle<>) const noexcept {
-  c.machine->schedule(c.id, c.pending.issue_t);
-}
-
-Core::Wfi_awaiter Core::wfi(Sl sl) {
-  issue(sl, 1, 0, 0);  // the WFI instruction itself
-  return Wfi_awaiter{*this};
+void Core::csr_wake(const Wake_set& set, Sl sl) {
+  const uint32_t writes = set.n_csr_writes();
+  const uint64_t at = issue(sl, writes, 0, 0);
+  machine->wake(set, at + (writes - 1) + cfg->wakeup_latency);
 }
 
 bool Core::Wfi_awaiter::await_suspend(std::coroutine_handle<>) noexcept {
@@ -115,12 +39,6 @@ bool Core::Wfi_awaiter::await_suspend(std::coroutine_handle<>) noexcept {
   c.sleeping = true;
   c.sleep_since = c.t;
   return true;
-}
-
-void Core::csr_wake(const Wake_set& set, Sl sl) {
-  const uint32_t writes = set.n_csr_writes();
-  const uint64_t at = issue(sl, writes, 0, 0);
-  machine->wake(set, at + (writes - 1) + cfg->wakeup_latency);
 }
 
 // ---------------------------------------------------------------------------
@@ -154,21 +72,17 @@ std::coroutine_handle<> Prog::Sub_awaiter::await_suspend(
 // ---------------------------------------------------------------------------
 
 Machine::Machine(const arch::Cluster_config& cfg)
-    : cfg_(cfg), map_(cfg_), mem_(cfg_), cores_(cfg_.n_cores()),
-      buckets_(ring_size) {
+    : cfg_(cfg), map_(cfg_), route_(cfg_), mem_(cfg_),
+      cores_(cfg_.n_cores()), bank_epoch_(cfg_.n_banks(), 0u),
+      bank_owner_(cfg_.n_banks(), -1), buckets_(ring_size) {
   for (arch::core_id c = 0; c < cfg_.n_cores(); ++c) {
     cores_[c].id = c;
     cores_[c].cfg = &cfg_;
     cores_[c].machine = this;
     cores_[c].l0.configure(cfg_.l0_icache_instrs);
+    if (route_.fast()) cores_[c].lat_row = route_.core_row(cfg_, c);
   }
-}
-
-void Machine::schedule(arch::core_id c, uint64_t at) {
-  PP_CHECK(at >= now_, "event scheduled in the past");
-  PP_CHECK(at - now_ < ring_size, "event beyond scheduler horizon");
-  buckets_[at & (ring_size - 1)].push_back(c);
-  ++pending_events_;
+  set_reference_loop(env_reference_loop());
 }
 
 void Machine::wake(const Wake_set& set, uint64_t at) {
@@ -195,6 +109,7 @@ void Machine::dispatch(Core& c) {
   if (c.finished) return;  // stale event
   if (c.pending.kind != Core::Pending::Kind::none) {
     service_mem(c);
+    c.active.resume();
     return;
   }
   if (c.sleeping) {
@@ -214,17 +129,28 @@ void Machine::service_mem(Core& c) {
   const Core::Pending p = c.pending;
   c.pending.kind = Core::Pending::Kind::none;
 
-  const arch::bank_id bank = map_.bank_of(p.addr);
-  const arch::Locality loc = cfg_.locality(c.id, bank);
-  const uint32_t lat = cfg_.load_use_latency(loc);
+  const arch::bank_id bank = p.bank;  // resolved at issue (resolve_route)
+  const uint32_t lat = p.lat;
+  // Ownership contract check: a non-owner may touch an owned bank only for
+  // the launch's closing barrier, i.e. once the owner is already parked in
+  // WFI (or done).  A foreign access while the owner still executes means
+  // the declaration was wrong and the inline fast path is unsound.
+  PP_CHECK(bank_owner_[bank] < 0 ||
+               bank_owner_[bank] == static_cast<int32_t>(c.id) ||
+               cores_[static_cast<size_t>(bank_owner_[bank])].sleeping ||
+               cores_[static_cast<size_t>(bank_owner_[bank])].finished,
+           "bank-ownership contract violated: a core accessed an owned bank "
+           "while its owner was still running (set_bank_owner declaration "
+           "is wrong)");
   const uint32_t fwd = (lat - 1) / 2;  // request network hops
   const uint32_t ret = (lat - 1) / 2;  // response network hops
 
   const uint64_t arrive = p.issue_t + fwd;
-  const uint64_t serve = std::max(arrive, mem_.bank_free(bank));
+  uint64_t& epoch = bank_epoch_[bank];
+  const uint64_t serve = std::max(arrive, epoch);
   // One access per bank per cycle; amo read-modify-write is done by an
   // adder at the bank within its cycle.
-  mem_.set_bank_free(bank, serve + 1);
+  epoch = serve + 1;
   const uint64_t ready = serve + 1 + ret;
 
   uint32_t value = 0;
@@ -247,20 +173,104 @@ void Machine::service_mem(Core& c) {
       PP_CHECK(false, "bad pending op");
   }
   c.pending_result = Tok{ready, value};
-  c.active.resume();
+}
+
+void Machine::drain_bucket() {
+  const uint64_t cycle = now_;
+  const size_t slot = cycle & (ring_size - 1);
+  auto& bucket = buckets_[slot];
+  // Dispatch may append same-cycle events; index loop handles growth.
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    // Hide the cold-core/frame misses of upcoming events behind the current
+    // dispatch: core i+2's state now, core i+1's coroutine frame (its Core
+    // line is resident from the previous iteration's prefetch).
+    if (i + 2 < bucket.size()) {
+      const char* n = reinterpret_cast<const char*>(&cores_[bucket[i + 2]]);
+      __builtin_prefetch(n);
+      __builtin_prefetch(n + 64);
+    }
+    if (i + 1 < bucket.size()) {
+      Core& n = cores_[bucket[i + 1]];
+      if (n.active) __builtin_prefetch(n.active.address());
+    }
+    const arch::core_id cid = bucket[i];
+    --pending_events_;
+    --ring_events_;
+    dispatch(cores_[cid]);
+    if (now_ != cycle) {
+      // A synchronous stretch (try_service_sync) advanced the clock past
+      // this cycle.  It can only fire once no event is left in this bucket,
+      // so everything dispatched so far belonged here and anything present
+      // now was scheduled during the stretch for a future cycle that
+      // aliases this ring slot: leave it (and the occupancy bit) in place.
+      bucket.erase(bucket.begin(), bucket.begin() + i + 1);
+      return;
+    }
+  }
+  bucket.clear();
+  occ_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  ++now_;
+}
+
+void Machine::flush_far() {
+  uint64_t rest_min = std::numeric_limits<uint64_t>::max();
+  size_t kept = 0;
+  for (auto& e : far_) {  // in place, preserving schedule order
+    if (e.first - now_ < ring_size) {
+      const size_t slot = e.first & (ring_size - 1);
+      buckets_[slot].push_back(e.second);
+      occ_[slot >> 6] |= uint64_t{1} << (slot & 63);
+      earliest_pending_ = std::min(earliest_pending_, e.first);
+      ++ring_events_;  // total pending_events_ unchanged: just moved
+    } else {
+      rest_min = std::min(rest_min, e.first);
+      far_[kept++] = e;
+    }
+  }
+  far_.resize(kept);
+  far_min_ = rest_min;
+}
+
+void Machine::skip_to_next_event() {
+  if (ring_events_ == 0) {
+    // Every pending event lies beyond the ring horizon: jump straight to
+    // the earliest (nothing can be scheduled in between).
+    now_ = far_min_;
+  }
+  if (far_min_ - now_ < ring_size) [[unlikely]] flush_far();
+  const size_t start = now_ & (ring_size - 1);
+  size_t w = start >> 6;
+  uint64_t word = occ_[w] & (~uint64_t{0} << (start & 63));
+  size_t scanned = 0;
+  while (word == 0) {
+    w = (w + 1) & (occ_words - 1);
+    PP_CHECK(++scanned <= occ_words, "scheduler bitmap lost an event");
+    word = occ_[w];
+  }
+  const size_t slot = (w << 6) | static_cast<size_t>(std::countr_zero(word));
+  // Every pending event lies in [now_, now_ + ring_size), so the first set
+  // bit in circular order from `start` is the globally next event.
+  now_ += (slot - start) & (ring_size - 1);
+  // The scan just established the true minimum: refresh the bound that
+  // gates synchronous service.
+  earliest_pending_ = now_;
 }
 
 void Machine::run() {
   while (pending_events_ > 0) {
-    auto& bucket = buckets_[now_ & (ring_size - 1)];
-    // Dispatch may append same-cycle events; index loop handles growth.
-    for (size_t i = 0; i < bucket.size(); ++i) {
-      const arch::core_id cid = bucket[i];
-      --pending_events_;
-      dispatch(cores_[cid]);
-    }
-    bucket.clear();
-    ++now_;
+    skip_to_next_event();
+    drain_bucket();
+  }
+  PP_CHECK(unfinished_ == 0,
+           "simulation deadlock: programs still waiting with no events "
+           "pending (barrier mismatch?)");
+}
+
+void Machine::run_reference() {
+  // The pre-batching scheduler: tick every cycle, empty or not.
+  while (pending_events_ > 0) {
+    if (far_min_ - now_ < ring_size) [[unlikely]] flush_far();
+    drain_bucket();
   }
   PP_CHECK(unfinished_ == 0,
            "simulation deadlock: programs still waiting with no events "
@@ -294,7 +304,11 @@ Kernel_report Machine::run_programs(std::string label,
     schedule(l.core, t0);
   }
 
-  run();
+  if (reference_loop_) {
+    run_reference();
+  } else {
+    run();
+  }
 
   uint64_t t_end = t0;
   for (const Launch& l : launches) {
@@ -323,6 +337,8 @@ Kernel_report Machine::run_programs(std::string label,
     // Release the finished program's frame.
     c.root = Prog{};
   }
+  // Exclusive-bank declarations cover exactly one launch.
+  reset_bank_owners();
   return r;
 }
 

@@ -1,11 +1,13 @@
-// Banked L1 data memory: functional word storage plus per-bank availability
-// used by the Machine for conflict arbitration (one access per bank per
-// cycle, paper §V).
+// Banked L1 data memory: the functional word storage.  Conflict arbitration
+// ("one access per bank per cycle", paper §V) lives with the Machine as
+// per-bank epoch counters - timing state and functional state have separate
+// owners.
 #ifndef PUSCHPOOL_SIM_MEMORY_H
 #define PUSCHPOOL_SIM_MEMORY_H
 
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "arch/address_map.h"
 #include "arch/topology.h"
@@ -15,15 +17,22 @@ namespace pp::sim {
 
 class Memory {
  public:
+  // calloc instead of a value-initialized vector: a TeraPool L1 is 16 MiB,
+  // and the OS hands out lazily-mapped zero pages where a vector would
+  // memset the whole array up front - measurable when a roll-up builds one
+  // Machine per stage.
   explicit Memory(const arch::Cluster_config& cfg)
-      : words_(cfg.l1_words(), 0u), bank_free_(cfg.n_banks(), 0u) {}
+      : n_words_(cfg.l1_words()),
+        words_(static_cast<uint32_t*>(std::calloc(n_words_, 4)), &std::free) {
+    PP_CHECK(words_ != nullptr, "L1 allocation failed");
+  }
 
   uint32_t read(arch::addr_t a) const {
-    PP_CHECK(a < words_.size(), "L1 read out of range");
+    PP_CHECK(a < n_words_, "L1 read out of range");
     return words_[a];
   }
   void write(arch::addr_t a, uint32_t v) {
-    PP_CHECK(a < words_.size(), "L1 write out of range");
+    PP_CHECK(a < n_words_, "L1 write out of range");
     words_[a] = v;
   }
 
@@ -31,14 +40,11 @@ class Memory {
   uint32_t peek(arch::addr_t a) const { return read(a); }
   void poke(arch::addr_t a, uint32_t v) { write(a, v); }
 
-  uint64_t bank_free(arch::bank_id b) const { return bank_free_[b]; }
-  void set_bank_free(arch::bank_id b, uint64_t t) { bank_free_[b] = t; }
-
-  size_t n_words() const { return words_.size(); }
+  size_t n_words() const { return n_words_; }
 
  private:
-  std::vector<uint32_t> words_;
-  std::vector<uint64_t> bank_free_;
+  size_t n_words_;
+  std::unique_ptr<uint32_t[], decltype(&std::free)> words_;
 };
 
 }  // namespace pp::sim

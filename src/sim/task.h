@@ -8,18 +8,84 @@
 #define PUSCHPOOL_SIM_TASK_H
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace pp::sim {
 
 class Core;
 
+// Thread-local size-class recycler for coroutine frames.  Kernels co_await
+// sub-programs inside their innermost loops (a Cholesky factorization
+// spawns O(n^3) of them), so frames churn through the allocator at the
+// simulator's hottest rate; recycling hands the same just-freed, cache-hot
+// block back to the next spawn.  Purely a host-side allocation detail:
+// simulated cycles never depend on frame addresses.  Thread-local free
+// lists keep sharded runs race-free; a block freed on another thread than
+// its allocator simply migrates pools.
+class Frame_pool {
+ public:
+  static void* allocate(std::size_t n) {
+    const std::size_t cls = (n + granule - 1) / granule;
+    if (cls == 0 || cls > n_classes) return ::operator new(n);
+    Pool& p = pool();
+    void*& head = p.bins[cls - 1];
+    if (head != nullptr) {
+      void* block = head;
+      head = *static_cast<void**>(block);
+      return block;
+    }
+    return ::operator new(cls * granule);
+  }
+
+  static void release(void* block, std::size_t n) noexcept {
+    const std::size_t cls = (n + granule - 1) / granule;
+    if (cls == 0 || cls > n_classes) {
+      ::operator delete(block);
+      return;
+    }
+    Pool& p = pool();
+    *static_cast<void**>(block) = p.bins[cls - 1];
+    p.bins[cls - 1] = block;
+  }
+
+ private:
+  static constexpr std::size_t granule = 64;   // one cache line
+  static constexpr std::size_t n_classes = 256;  // recycle up to 16 KiB
+
+  struct Pool {
+    void* bins[n_classes] = {};
+    ~Pool() {
+      for (void* head : bins) {
+        while (head != nullptr) {
+          void* next = *static_cast<void**>(head);
+          ::operator delete(head);
+          head = next;
+        }
+      }
+    }
+  };
+
+  static Pool& pool() {
+    thread_local Pool p;
+    return p;
+  }
+};
+
 class Prog {
  public:
   struct promise_type {
     Core* core = nullptr;
     std::coroutine_handle<> cont;
+
+    static void* operator new(std::size_t n) {
+      return Frame_pool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      Frame_pool::release(p, n);
+    }
 
     Prog get_return_object() {
       return Prog{std::coroutine_handle<promise_type>::from_promise(*this)};

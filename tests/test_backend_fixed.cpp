@@ -1,6 +1,6 @@
 // Fixed_backend bit-exactness and SIMD parity tests.
 //
-// The load-bearing guarantee (docs/DETERMINISM.md section 6): the fixed-point
+// The load-bearing guarantee (docs/DETERMINISM.md section 7): the fixed-point
 // host backend is **bit-identical to the sim backend** - same payload bits,
 // same EVM/BER doubles, same sigma2_hat - across the scenario grid, at any
 // intra-slot worker count, through the split/pipelined path, and with the

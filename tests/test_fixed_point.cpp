@@ -143,7 +143,7 @@ TEST(Cq15, ScalingShifts) {
 //
 // The Q15 layer is the shared value contract between the simulated kernels
 // and the fixed-point host backend (src/fixed/), so its corner behavior is
-// pinned exactly - docs/DETERMINISM.md section 6 documents these semantics
+// pinned exactly - docs/DETERMINISM.md section 7 documents these semantics
 // and any change here breaks sim/fixed bit parity.
 
 TEST(Q15, ToQ15SaturatesArbitrarilyLargeInputs) {

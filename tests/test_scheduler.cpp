@@ -352,7 +352,7 @@ TEST(Scheduler, ShardingPreservesSlotResultsAndSplitsTheQueue) {
 
 TEST(Scheduler, ShardedServingInvariantAcrossWorkersPipeliningAndIntra) {
   // The whole sharded + admission surface must be bit-identical for any
-  // host execution shape (DETERMINISM.md §7).
+  // host execution shape (DETERMINISM.md §8).
   const Traffic_source src(serving_traffic());
   Scheduler_options opt;
   opt.workers = 1;
