@@ -18,6 +18,7 @@
 #include "common/complex16.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "phy/channel.h"
 #include "runtime/admission.h"
 #include "runtime/backend.h"
 #include "runtime/placement.h"
@@ -150,6 +151,27 @@ inline std::string overload_from_cli(const common::Cli& cli,
   std::exit(2);
 }
 
+// Channel profile validated against phy::channel_profile_names(); unknown
+// names print the registered list and exit 2 instead of aborting in
+// channel_profile_from_name().
+inline phy::Channel_profile channel_by_name(const std::string& name) {
+  if (phy::is_channel_profile_name(name)) {
+    return phy::channel_profile_from_name(name);
+  }
+  std::fprintf(stderr, "unknown channel profile '%s' for --channel; "
+               "registered:", name.c_str());
+  for (const auto& p : phy::channel_profile_names()) {
+    std::fprintf(stderr, " %s", p.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+inline phy::Channel_profile channel_from_cli(const common::Cli& cli,
+                                             const char* fallback = "flat") {
+  return channel_by_name(cli.get("--channel", fallback));
+}
+
 // `--list` support: everything reachable by name through the runtime
 // registry and the CLI helpers - clusters, execution backends, pipeline
 // presets, and the registered kernel configurations.
@@ -185,6 +207,13 @@ inline void print_catalog() {
   std::printf("  %-10s tail-drop past a bounded predicted backlog\n", "queue");
   std::printf("  %-10s re-plan over-budget slots to fewer UE layers\n",
               "degrade");
+  std::printf("\nchannel profiles (--channel):\n");
+  std::printf("  %-10s per-sub-carrier Rayleigh block fading (the default)\n",
+              "flat");
+  std::printf("  %-10s TR 38.901 TDL-A power-delay profile (NLOS, 23 taps)\n",
+              "tdl-a");
+  std::printf("  %-10s TR 38.901 TDL-C power-delay profile (NLOS, 24 taps)\n",
+              "tdl-c");
   std::printf("\npipeline presets:\n");
   for (const auto& [name, summary] : runtime::preset_names()) {
     std::printf("  %-10s %s\n", name.c_str(), summary.c_str());

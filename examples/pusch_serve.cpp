@@ -13,10 +13,17 @@
 //   ./examples/pusch_serve --backend sim --arch minipool --clock-ghz 0.02
 //   ./examples/pusch_serve --shards 2 --placement load-aware
 //       --overload degrade --load 1.5                    # sharded serving
+//   ./examples/pusch_serve --channel tdl-a,flat --doppler 200
+//       --snr 12 --max-harq 3 --harq-ber 0.02            # fading + HARQ
 //   ./examples/pusch_serve --list                        # name catalog
 //
 // Cell i draws its parameters from position i (mod length) of the --mu,
-// --fft, --ue, --qam, --snr and --load lists.  --pipelined overlaps the
+// --fft, --ue, --qam, --snr, --load, --channel, --doppler and
+// --delay-spread lists.  --channel picks each cell's fading profile
+// (phy/channel.h: flat | tdl-a | tdl-c); --max-harq N closes the HARQ
+// loop - slots decoding above --harq-ber re-enter the stream as chase-
+// combined retransmissions, at most N per slot, admitted against the same
+// capacity as the exogenous traffic.  --pipelined overlaps the
 // front half (FFT + beamforming) of slot n+1 with the back half of slot n
 // (host backends only); --intra N additionally splits every kernel inside
 // the "parallel" backend.  Deadline metrics run on the deterministic
@@ -90,6 +97,9 @@ int main(int argc, char** argv) {
   const auto snr = cli.get_double_list("--snr", "30");
   const auto load = cli.get_double_list("--load", "0.5");
   const auto budget_us = cli.get_double_list("--budget-us", "0");
+  const auto channel = cli.get_str_list("--channel", "flat");
+  const auto doppler = cli.get_double_list("--doppler", "0");
+  const auto delay_spread = cli.get_double_list("--delay-spread", "4");
 
   const uint32_t n_cells = cli.get_u32("--cells", 2);
   traffic.cells.clear();
@@ -105,6 +115,13 @@ int main(int argc, char** argv) {
     if (!(cell.load > 0.0)) bad_range("--load", "load must be positive");
     cell.budget_s = cycle(budget_us, c) * 1e-6;  // 0 = numerology budget
     if (cell.budget_s < 0.0) bad_range("--budget-us", "budget must be >= 0");
+    cell.profile = bench::channel_by_name(cycle(channel, c));
+    cell.doppler_hz = cycle(doppler, c);
+    if (cell.doppler_hz < 0.0) bad_range("--doppler", "Doppler must be >= 0");
+    cell.delay_spread = cycle(delay_spread, c);
+    if (!(cell.delay_spread > 0.0)) {
+      bad_range("--delay-spread", "delay spread must be positive");
+    }
     traffic.cells.push_back(cell);
   }
 
@@ -132,6 +149,14 @@ int main(int argc, char** argv) {
   opt.degrade_min_ue = cli.get_u32("--min-ue", 1);
   if (opt.degrade_min_ue < 1) {
     bad_range("--min-ue", "the degrade floor must keep one UE layer");
+  }
+  // HARQ retransmission loop: failed decodes (BER above --harq-ber) re-enter
+  // the stream as retransmissions with chase combining, at most --max-harq
+  // per slot.  0 keeps the pre-HARQ open-loop engine.
+  opt.max_harq = cli.get_u32("--max-harq", 0);
+  opt.harq_ber = cli.get_double("--harq-ber", 0.0);
+  if (opt.harq_ber < 0.0 || opt.harq_ber > 1.0) {
+    bad_range("--harq-ber", "BER threshold must be in [0, 1]");
   }
 
   const runtime::Traffic_source source(traffic);
@@ -161,6 +186,9 @@ int main(int argc, char** argv) {
   rep.add_meta("shards", std::to_string(opt.shards));
   rep.add_meta("placement", res.placement);
   rep.add_meta("overload", res.overload);
+  if (opt.max_harq > 0) {
+    rep.add_meta("max_harq", std::to_string(opt.max_harq));
+  }
   for (size_t c = 0; c < res.groups.size(); ++c) {
     const auto& g = res.groups[c];
     auto& row = rep.add_row(g.label);
@@ -181,6 +209,14 @@ int main(int argc, char** argv) {
                "lower");
     row.metric("latency_p99", 1e6 * g.latency.percentile(0.99), "us", true,
                "lower");
+    if (opt.max_harq > 0) {
+      row.metric("harq_retx", static_cast<double>(g.harq_retx), "count", true,
+                 "exact");
+      row.metric("harq_recovered", static_cast<double>(g.harq_recovered),
+                 "count", true, "exact");
+      row.metric("harq_exhausted", static_cast<double>(g.harq_exhausted),
+                 "count", true, "exact");
+    }
     if (g.cycles) {
       row.metric("cycles", static_cast<double>(g.cycles), "cycles");
     }
@@ -224,6 +260,14 @@ int main(int argc, char** argv) {
                 true, "lower");
   totals.metric("virtual_makespan_ms", 1e3 * res.virtual_makespan_s, "ms",
                 true, "lower");
+  if (opt.max_harq > 0) {
+    totals.metric("harq_retx", static_cast<double>(res.harq_retx), "count",
+                  true, "exact");
+    totals.metric("harq_recovered", static_cast<double>(res.harq_recovered),
+                  "count", true, "exact");
+    totals.metric("harq_exhausted", static_cast<double>(res.harq_exhausted),
+                  "count", true, "exact");
+  }
   totals.metric("slots_per_s", res.slots_per_second(), "slots/s", false,
                 "info");
   totals.metric("wall_service_p99_us",

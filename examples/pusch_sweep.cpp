@@ -110,6 +110,10 @@ int main(int argc, char** argv) {
   grid.n_beams = cli.get_u32("--beams", 4);
   grid.n_symb = cli.get_u32("--symb", 4);
   grid.base_seed = cli.get_u32("--seed", 1);
+  // Channel profile shared by every grid point (flat | tdl-a | tdl-c).
+  grid.profile = bench::channel_from_cli(cli);
+  grid.doppler_hz = cli.get_double("--doppler", 0.0);
+  grid.delay_spread = cli.get_double("--delay-spread", 4.0);
 
   runtime::Sweep_options opt;
   opt.backend = bench::backend_from_cli(cli);

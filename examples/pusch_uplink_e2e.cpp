@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
   cfg.sigma2 = 1e-7;
   cfg.ue_power = 0.08;
   cfg.seed = static_cast<uint64_t>(cli.get_int("--seed", 2023));
+  // Fading profile (flat | tdl-a | tdl-c) with optional Doppler evolution.
+  cfg.profile = bench::channel_from_cli(cli);
+  cfg.doppler_hz = cli.get_double("--doppler", 0.0);
   switch (cli.get_int("--qam", 16)) {
     case 4: cfg.qam = phy::Qam::qpsk; break;
     case 64: cfg.qam = phy::Qam::qam64; break;

@@ -86,6 +86,10 @@ run bench_serve_latency bench_serve_latency --slots 24
 # headline gates the baseline exactly.
 run bench_capacity bench_capacity \
     --slots 160 --shards 2 --placement load-aware --iters 12
+# Fading scenario mixes with the HARQ loop closed: per-cell BER, admission
+# and HARQ counters are deterministic and gate the baseline exactly, and
+# the bench itself re-checks worker invariance.
+run bench_scenario_mix bench_scenario_mix
 
 if [[ "$MODE" == "full" ]]; then
   run bench_fig5_fft_locality bench_fig5_fft_locality

@@ -3,8 +3,9 @@
 # quickstart example (registry + pipeline on both backends), small scenario
 # sweeps (slot scheduler + determinism cross-check, including the
 # intra-slot 'parallel' backend), the streaming traffic engine
-# (pusch_serve, stage-pipelined and --list), the sharded serving engine
-# (placement + overload policies, CLI validation, bench_capacity), a
+# (pusch_serve, stage-pipelined and --list), the fading channel profiles
+# and HARQ loop (TDL serve + bench_scenario_mix), the sharded serving
+# engine (placement + overload policies, CLI validation, bench_capacity), a
 # markdown link check over README + docs/, and a bench_all --quick pass
 # whose JSON reports are
 # validated and diffed against the committed baseline
@@ -13,8 +14,9 @@
 #
 # CHECK_TSAN=1 additionally builds the concurrency tests (slot scheduler,
 # sweep engine, traffic source, shared lazy tables, parallel + fixed
-# backends, and the sharded-sim differential/fuzz suites) under
-# ThreadSanitizer in a separate build tree and runs them.
+# backends, the sharded-sim differential/fuzz suites, and the HARQ-loop /
+# cross-backend scenario-parity suites) under ThreadSanitizer in a
+# separate build tree and runs them.
 #
 # CHECK_UBSAN=1 additionally builds the fixed-point arithmetic, kernel and
 # fixed-backend tests under UndefinedBehaviorSanitizer (the Q15 layer's
@@ -84,6 +86,15 @@ echo "--- smoke: streaming traffic engine (pusch_serve + --list) ---"
 "$BUILD_DIR"/examples/pusch_sweep --list > /dev/null
 "$BUILD_DIR"/examples/pusch_uplink_e2e --list > /dev/null
 
+echo "--- smoke: fading channel profiles + HARQ retransmission loop ---"
+# TDL fading with Doppler and the closed HARQ loop on the streaming
+# engine, plus the scenario-mix bench's own worker-invariance re-check.
+"$BUILD_DIR"/examples/pusch_serve --slots 16 --workers 2 --channel tdl-a \
+    --doppler 16 --max-harq 3 --harq-ber 0.005
+"$BUILD_DIR"/examples/pusch_sweep --workers 2 --channel tdl-c --doppler 8 \
+    --fft 64 --snr 20,30
+"$BUILD_DIR"/bench/bench_scenario_mix --slots 24 > /dev/null
+
 echo "--- smoke: sharded serving engine + capacity search ---"
 # Sharded serve with load-aware placement and the degrade controller, a
 # bounded-queue drop run, and a short capacity search.
@@ -94,7 +105,8 @@ echo "--- smoke: sharded serving engine + capacity search ---"
 "$BUILD_DIR"/bench/bench_capacity --slots 96 --iters 8 > /dev/null
 # Unknown names for the serving flags must exit 2 with the registered list
 # (the --list convention), not abort or silently fall back.
-for bad in "--placement random" "--overload shed" "--shards 0"; do
+for bad in "--placement random" "--overload shed" "--shards 0" \
+           "--channel rician"; do
   if "$BUILD_DIR"/examples/pusch_serve --slots 1 $bad > /dev/null 2>&1; then
     echo "pusch_serve accepted invalid flag: $bad"
     exit 1
@@ -137,10 +149,11 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_sweep test_thread_safety test_rng test_backend_parallel \
              test_backend_fixed test_scheduler test_traffic test_admission \
-             test_placement test_sim_differential test_sim_fuzz
+             test_placement test_sim_differential test_sim_fuzz test_harq \
+             test_harq_fuzz test_scenario_parity
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
     -j "$JOBS" \
-    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement|SimDifferential|SimFuzz'
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement|SimDifferential|SimFuzz|Harq|ScenarioParity'
 fi
 
 if [[ "${CHECK_UBSAN:-0}" == "1" ]]; then

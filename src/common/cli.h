@@ -88,6 +88,24 @@ class Cli {
     return out;
   }
 
+  // Value of "--name" as a comma-separated list of strings
+  // ("flat,tdl-a,tdl-c"); empty tokens are preserved so validation stays at
+  // the call site.
+  std::vector<std::string> get_str_list(const std::string& name,
+                                        const std::string& fallback) const {
+    const std::string s = get(name, fallback);
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+      const size_t end = s.find(',', start);
+      out.push_back(end == std::string::npos ? s.substr(start)
+                                             : s.substr(start, end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return out;
+  }
+
   // True if the bare flag "--name" appears anywhere.
   bool has(const std::string& name) const {
     for (const auto& a : args_) {

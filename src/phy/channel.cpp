@@ -6,21 +6,200 @@
 
 namespace pp::phy {
 
+std::vector<std::string> channel_profile_names() {
+  return {"flat", "tdl-a", "tdl-c"};
+}
+
+bool is_channel_profile_name(const std::string& name) {
+  for (const auto& n : channel_profile_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Channel_profile channel_profile_from_name(const std::string& name) {
+  if (name == "flat") return Channel_profile::flat;
+  if (name == "tdl-a") return Channel_profile::tdl_a;
+  if (name == "tdl-c") return Channel_profile::tdl_c;
+  PP_CHECK(false, "unknown channel profile (registered: flat, tdl-a, tdl-c)");
+  return Channel_profile::flat;  // unreachable
+}
+
+const char* channel_profile_name(Channel_profile profile) {
+  switch (profile) {
+    case Channel_profile::flat: return "flat";
+    case Channel_profile::tdl_a: return "tdl-a";
+    case Channel_profile::tdl_c: return "tdl-c";
+  }
+  PP_CHECK(false, "unknown channel profile enum");
+  return "flat";  // unreachable
+}
+
+namespace {
+
+// TR 38.901 Table 7.7.2 tap tables: {normalized delay, power dB}.  Powers
+// are converted to linear and normalized to sum to 1 once, at first use.
+struct Raw_tap {
+  double delay;
+  double power_db;
+};
+
+std::vector<Tdl_tap> normalize(const Raw_tap* raw, size_t n) {
+  std::vector<Tdl_tap> taps(n);
+  double sum = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    taps[t].delay = raw[t].delay;
+    taps[t].power = std::pow(10.0, raw[t].power_db / 10.0);
+    sum += taps[t].power;
+  }
+  for (auto& t : taps) t.power /= sum;
+  return taps;
+}
+
+// TR 38.901 Table 7.7.2-1 (TDL-A, NLOS, 23 taps).
+constexpr Raw_tap kTdlA[] = {
+    {0.0000, -13.4}, {0.3819, 0.0},   {0.4025, -2.2},  {0.5868, -4.0},
+    {0.4610, -6.0},  {0.5375, -8.2},  {0.6708, -9.9},  {0.5750, -10.5},
+    {0.7618, -7.5},  {1.5375, -15.9}, {1.8978, -6.6},  {2.2242, -16.7},
+    {2.1718, -12.4}, {2.4942, -15.2}, {2.5119, -10.8}, {3.0582, -11.3},
+    {4.0810, -12.7}, {4.4579, -16.2}, {4.5695, -18.3}, {4.7966, -18.9},
+    {5.0066, -16.6}, {5.3043, -19.9}, {9.6586, -29.7},
+};
+
+// TR 38.901 Table 7.7.2-3 (TDL-C, NLOS, 24 taps).
+constexpr Raw_tap kTdlC[] = {
+    {0.0000, -4.4},  {0.2099, -1.2},  {0.2219, -3.5},  {0.2329, -5.2},
+    {0.2176, -2.5},  {0.6366, 0.0},   {0.6448, -2.2},  {0.6560, -3.9},
+    {0.6584, -7.4},  {0.7935, -7.1},  {0.8213, -10.7}, {0.9336, -11.1},
+    {1.2285, -5.1},  {1.3083, -6.8},  {2.1704, -8.7},  {2.7105, -13.2},
+    {4.2589, -13.9}, {4.6003, -13.9}, {5.4902, -15.8}, {5.6077, -17.1},
+    {6.3065, -16.0}, {6.6374, -15.7}, {7.0427, -21.6}, {8.6523, -22.8},
+};
+
+}  // namespace
+
+const std::vector<Tdl_tap>& tdl_taps(Channel_profile profile) {
+  static const std::vector<Tdl_tap> a =
+      normalize(kTdlA, sizeof kTdlA / sizeof kTdlA[0]);
+  static const std::vector<Tdl_tap> c =
+      normalize(kTdlC, sizeof kTdlC / sizeof kTdlC[0]);
+  switch (profile) {
+    case Channel_profile::tdl_a: return a;
+    case Channel_profile::tdl_c: return c;
+    case Channel_profile::flat: break;
+  }
+  PP_CHECK(false, "the flat profile has no TDL tap table");
+  return a;  // unreachable
+}
+
+double Channel::doppler_rho(const Channel_config& cfg, uint32_t l) {
+  // Per-UE Doppler: UE l moves at (1 + l/2) x the base rate, so layers
+  // decorrelate at different speeds.  The rate depends only on l - never on
+  // n_ue - preserving per-UE stream independence.
+  const double fd = cfg.doppler_hz * (1.0 + 0.5 * static_cast<double>(l));
+  return std::exp(-2.0 * M_PI * fd * cfg.symbol_s);
+}
+
 Channel::Channel(const Channel_config& cfg, common::Rng& rng) : cfg_(cfg) {
-  const size_t blocks = (cfg_.n_sc + cfg_.coherence - 1) / cfg_.coherence;
-  h_.resize(blocks * cfg_.n_rx * cfg_.n_ue);
-  for (auto& v : h_) v = rng.cnormal() * cfg_.gain;
+  if (cfg_.profile == Channel_profile::flat) {
+    const size_t blocks = (cfg_.n_sc + cfg_.coherence - 1) / cfg_.coherence;
+    h_.resize(blocks * cfg_.n_rx * cfg_.n_ue);
+    for (auto& v : h_) v = rng.cnormal() * cfg_.gain;
+    return;
+  }
+
+  PP_CHECK(cfg_.n_symb >= 1, "a TDL trace covers at least one symbol");
+  PP_CHECK(cfg_.delay_spread > 0.0, "TDL delay spread must be positive");
+  const auto& table = tdl_taps(cfg_.profile);
+  n_taps_ = static_cast<uint32_t>(table.size());
+  const size_t per_symb = static_cast<size_t>(n_taps_) * cfg_.n_rx * cfg_.n_ue;
+  taps_.resize(static_cast<size_t>(cfg_.n_symb) * per_symb);
+
+  // Per-UE private streams, symbol-major draw order: the initial (t, r)
+  // block, then one innovation block per later symbol.  A longer trace
+  // therefore extends a shorter one without disturbing its prefix, and UE
+  // l's realization is independent of every other UE's presence.
+  for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+    common::Rng ue_rng(common::Rng::derive_seed(cfg_.seed, kUeStream + l));
+    const double rho = doppler_rho(cfg_, l);
+    const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+    for (uint32_t t = 0; t < n_taps_; ++t) {
+      const double amp = std::sqrt(table[t].power) * cfg_.gain;
+      for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+        taps_[(static_cast<size_t>(t) * cfg_.n_rx + r) * cfg_.n_ue + l] =
+            ue_rng.cnormal() * amp;
+      }
+    }
+    for (uint32_t s = 1; s < cfg_.n_symb; ++s) {
+      for (uint32_t t = 0; t < n_taps_; ++t) {
+        const double amp = std::sqrt(table[t].power) * cfg_.gain;
+        for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+          const size_t at =
+              (static_cast<size_t>(t) * cfg_.n_rx + r) * cfg_.n_ue + l;
+          const cd prev = taps_[(static_cast<size_t>(s) - 1) * per_symb + at];
+          taps_[static_cast<size_t>(s) * per_symb + at] =
+              prev * rho + ue_rng.cnormal() * (amp * innov);
+        }
+      }
+    }
+  }
+
+  // Frequency response: H(s, sc, r, l) = sum_t g_t exp(-j 2 pi sc tau_t /
+  // n_sc) with tau_t the tap's excess delay in sub-carrier-grid samples.
+  // The phase table is shared across antennas and UEs.
+  std::vector<cd> phase(static_cast<size_t>(n_taps_) * cfg_.n_sc);
+  for (uint32_t t = 0; t < n_taps_; ++t) {
+    const double tau = table[t].delay * cfg_.delay_spread;
+    for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+      const double ang =
+          -2.0 * M_PI * tau * static_cast<double>(sc) / cfg_.n_sc;
+      phase[static_cast<size_t>(t) * cfg_.n_sc + sc] =
+          cd{std::cos(ang), std::sin(ang)};
+    }
+  }
+  freq_.assign(
+      static_cast<size_t>(cfg_.n_symb) * cfg_.n_sc * cfg_.n_rx * cfg_.n_ue,
+      cd{0, 0});
+  for (uint32_t s = 0; s < cfg_.n_symb; ++s) {
+    for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
+      for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
+        for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
+          cd acc{0, 0};
+          for (uint32_t t = 0; t < n_taps_; ++t) {
+            acc += taps_[((static_cast<size_t>(s) * n_taps_ + t) * cfg_.n_rx +
+                          r) *
+                             cfg_.n_ue +
+                         l] *
+                   phase[static_cast<size_t>(t) * cfg_.n_sc + sc];
+          }
+          freq_[((static_cast<size_t>(s) * cfg_.n_sc + sc) * cfg_.n_rx + r) *
+                    cfg_.n_ue +
+                l] = acc;
+        }
+      }
+    }
+  }
+}
+
+cd Channel::tap_gain(uint32_t s, uint32_t t, uint32_t r, uint32_t l) const {
+  PP_CHECK(cfg_.profile != Channel_profile::flat,
+           "the flat profile has no taps");
+  PP_CHECK(s < cfg_.n_symb && t < n_taps_ && r < cfg_.n_rx && l < cfg_.n_ue,
+           "tap index out of range");
+  return taps_[((static_cast<size_t>(s) * n_taps_ + t) * cfg_.n_rx + r) *
+                   cfg_.n_ue +
+               l];
 }
 
 std::vector<cd> Channel::apply(const std::vector<std::vector<cd>>& x,
-                               common::Rng& noise_rng) const {
+                               uint32_t s, common::Rng& noise_rng) const {
   PP_CHECK(x.size() == cfg_.n_ue, "need one grid per UE");
   std::vector<cd> y(static_cast<size_t>(cfg_.n_sc) * cfg_.n_rx, cd{0, 0});
   for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
     for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
       cd acc{0, 0};
       for (uint32_t l = 0; l < cfg_.n_ue; ++l) {
-        acc += h(sc, r, l) * x[l][sc];
+        acc += h(s, sc, r, l) * x[l][sc];
       }
       acc += noise_rng.cnormal() * std::sqrt(cfg_.sigma2);
       y[static_cast<size_t>(sc) * cfg_.n_rx + r] = acc;

@@ -20,11 +20,59 @@ Uplink_config degrade_to_layers(const Uplink_config& cfg, uint32_t n_ue) {
   return out;
 }
 
+namespace {
+
+Channel_config scenario_channel_config(const Uplink_config& cfg) {
+  Channel_config c;
+  c.n_sc = cfg.n_sc;
+  c.n_rx = cfg.n_rx;
+  c.n_ue = cfg.n_ue;
+  c.coherence = cfg.coherence;
+  c.gain = cfg.channel_gain;
+  c.sigma2 = cfg.sigma2;
+  c.profile = cfg.profile;
+  c.n_symb = cfg.n_symb;
+  c.doppler_hz = cfg.doppler_hz;
+  c.delay_spread = cfg.delay_spread;
+  c.symbol_s = cfg.symbol_s;
+  // TDL tap streams re-realize per HARQ attempt directly through the seed;
+  // the flat profile draws from a caller RNG instead, so its attempt > 0
+  // rebuild happens in the scenario body (after burning the legacy draws).
+  c.seed = cfg.harq_attempt > 0 ? common::Rng::derive_seed(
+                                      cfg.seed, kHarqStream + cfg.harq_attempt)
+                                : cfg.seed;
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::vector<uint8_t>> tx_payload_bits(const Uplink_config& cfg) {
+  PP_CHECK(cfg.n_symb > cfg.n_pilot_symb,
+           "slot needs at least one data symbol after the pilots");
+  common::Rng rng(cfg.seed);
+  if (cfg.profile == Channel_profile::flat) {
+    // The scenario constructs the flat channel from rng_ before drawing any
+    // payload, one cnormal() per coefficient; replay the same count so the
+    // bit draws land on the same stream positions.
+    const size_t burn = Channel::flat_coeff_count(scenario_channel_config(cfg));
+    for (size_t i = 0; i < burn; ++i) rng.cnormal();
+  }
+  const uint32_t bps = qam_bits(cfg.qam);
+  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
+  std::vector<std::vector<uint8_t>> bits(cfg.n_ue);
+  for (uint32_t l = 0; l < cfg.n_ue; ++l) {
+    bits[l].resize(static_cast<size_t>(n_data) * cfg.n_sc * bps);
+    for (auto& b : bits[l]) b = rng.uniform() < 0.5 ? 0 : 1;
+    // Burn the pilot draws (two uniforms per sub-carrier) so the next UE's
+    // bits stay aligned with the scenario's interleaved draw order.
+    for (uint32_t i = 0; i < 2 * cfg.n_sc; ++i) rng.uniform();
+  }
+  return bits;
+}
+
 Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
     : cfg_(cfg), rng_(cfg.seed),
-      chan_(Channel_config{cfg.n_sc, cfg.n_rx, cfg.n_ue, cfg.coherence,
-                           cfg.channel_gain, cfg.sigma2},
-            rng_),
+      chan_(scenario_channel_config(cfg), rng_),
       codebook_(dft_codebook(cfg.n_rx, cfg.n_beams)) {
   PP_CHECK(cfg_.fft_size >= cfg_.n_sc, "FFT size must cover active carriers");
   PP_CHECK(cfg_.n_symb > cfg_.n_pilot_symb,
@@ -62,12 +110,23 @@ Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
     }
   }
 
+  // HARQ attempt k > 0: the payload above came from the same rng_ positions
+  // as attempt 0 (the flat channel burned its legacy draws in the init
+  // list), so bits and pilots are identical; the channel and every noise
+  // draw below re-realize from the attempt's derived stream instead.
+  common::Rng harq_rng(
+      common::Rng::derive_seed(cfg_.seed, kHarqStream + cfg_.harq_attempt));
+  if (cfg_.harq_attempt > 0 && cfg_.profile == Channel_profile::flat) {
+    chan_ = Channel(scenario_channel_config(cfg_), harq_rng);
+  }
+  common::Rng& noise_rng = cfg_.harq_attempt > 0 ? harq_rng : rng_;
+
   // Channel + OFDM modulation to time domain, per symbol and antenna.
   time_.resize(cfg_.n_symb);
   for (uint32_t s = 0; s < cfg_.n_symb; ++s) {
     std::vector<std::vector<cd>> x(cfg_.n_ue);
     for (uint32_t l = 0; l < cfg_.n_ue; ++l) x[l] = grids_[l][s];
-    const auto y = chan_.apply(x, rng_);  // [sc][rx]
+    const auto y = chan_.apply(x, s, noise_rng);  // [sc][rx]
     time_[s].resize(cfg_.n_rx);
     for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
       std::vector<cd> bins(cfg_.fft_size, cd{0, 0});
@@ -90,7 +149,7 @@ Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
       for (uint32_t b = 0; b < cfg_.n_beams; ++b) {
         cd v = h_eff[(static_cast<size_t>(sc) * cfg_.n_beams + b) * cfg_.n_ue + l] *
                pilots_[l][sc];
-        v += rng_.cnormal() *
+        v += noise_rng.cnormal() *
              std::sqrt(cfg_.sigma2 / (2.0 * cfg_.n_ue));  // separated noise
         pilot_obs_[l][static_cast<size_t>(sc) * cfg_.n_beams + b] = v;
       }
@@ -98,7 +157,7 @@ Uplink_scenario::Uplink_scenario(const Uplink_config& cfg)
   }
 }
 
-std::vector<cd> Uplink_scenario::beam_channel() const {
+std::vector<cd> Uplink_scenario::beam_channel(uint32_t s) const {
   std::vector<cd> h_eff(static_cast<size_t>(cfg_.n_sc) * cfg_.n_beams * cfg_.n_ue);
   for (uint32_t sc = 0; sc < cfg_.n_sc; ++sc) {
     for (uint32_t b = 0; b < cfg_.n_beams; ++b) {
@@ -106,13 +165,30 @@ std::vector<cd> Uplink_scenario::beam_channel() const {
         cd acc{0, 0};
         for (uint32_t r = 0; r < cfg_.n_rx; ++r) {
           acc += codebook_[static_cast<size_t>(r) * cfg_.n_beams + b] *
-                 chan_.h(sc, r, l);
+                 chan_.h(s, sc, r, l);
         }
         h_eff[(static_cast<size_t>(sc) * cfg_.n_beams + b) * cfg_.n_ue + l] = acc;
       }
     }
   }
   return h_eff;
+}
+
+std::vector<cd> Uplink_scenario::beam_channel() const {
+  // Flat: time-invariant - symbol 0 IS the channel, and the single-symbol
+  // path keeps the pre-profile result bit-for-bit (no mean-of-identical
+  // rounding).  TDL: the code-separated pilot observation measures the mean
+  // of the fading over the pilot symbols, so that mean is the channel the
+  // CHE should recover (and the one channel_mse scores against).
+  if (cfg_.profile == Channel_profile::flat) return beam_channel(0);
+  const uint32_t np = std::max(1u, cfg_.n_pilot_symb);
+  std::vector<cd> acc = beam_channel(0);
+  for (uint32_t s = 1; s < np; ++s) {
+    const auto hs = beam_channel(s);
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += hs[i];
+  }
+  for (auto& v : acc) v /= static_cast<double>(np);
+  return acc;
 }
 
 std::vector<cd> Uplink_scenario::pilot_obs_beam(uint32_t l) const {

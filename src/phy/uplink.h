@@ -32,7 +32,31 @@ struct Uplink_config {
   double channel_gain = 0.25;
   uint32_t coherence = 16;
   uint64_t seed = 1;
+
+  // ---- channel profile (defaults reproduce the pre-profile scenario) ----
+  Channel_profile profile = Channel_profile::flat;
+  double doppler_hz = 0.0;      // base Doppler; UE l evolves at (1 + l/2) x
+  double delay_spread = 4.0;    // TDL delay spread, sub-carrier-grid samples
+  double symbol_s = 1e-3 / 14;  // OFDM symbol duration (AR(1) Doppler step)
+
+  // HARQ retransmission index.  Attempt k > 0 carries the SAME payload bits
+  // and pilots as attempt 0 but re-realizes the channel and noise from the
+  // derive_seed(seed, kHarqStream + k) stream - a fresh fade of the same
+  // transport block, the soft-combining premise.
+  uint32_t harq_attempt = 0;
 };
+
+// HARQ channel-stream offset: attempt k's channel/noise realization is
+// rooted at Rng::derive_seed(cfg.seed, kHarqStream + k).  Far above both
+// the slot-index streams and Traffic_source's kArrivalStream (2^48), and
+// distinct from Channel::kUeStream (2^52), so the streams can never collide.
+inline constexpr uint64_t kHarqStream = uint64_t{1} << 56;
+
+// The payload bits one slot config transmits, per UE - a pure replay of the
+// scenario's bit/pilot draw order without building the channel or grids.
+// Identical for every harq_attempt of the same slot (the retransmission
+// contract) and cheap enough for the scheduler's serial combining pass.
+std::vector<std::vector<uint8_t>> tx_payload_bits(const Uplink_config& cfg);
 
 // Overload degrade re-planning: the same slot with at most `n_ue` UE
 // layers.  The admission controller (runtime/admission.h) calls this when a
@@ -69,8 +93,15 @@ class Uplink_scenario {
     return time_[s][r];
   }
 
-  // Effective beam-domain channel h_eff[sc][b][l] = sum_r B[r][b] h[sc][r][l]
-  // (what CHE should estimate).
+  // Effective beam-domain channel during OFDM symbol s:
+  // h_eff[sc][b][l] = sum_r B[r][b] h(s, sc, r, l).
+  std::vector<cd> beam_channel(uint32_t s) const;
+
+  // The beam-domain channel the CHE should estimate: the flat profile's
+  // time-invariant response, or - for TDL profiles, where the channel moves
+  // under Doppler - the mean over the pilot symbols, which is what the
+  // code-separated pilot observations actually measure.  golden_back scores
+  // channel_mse against this, so the metric is per-profile correct.
   std::vector<cd> beam_channel() const;
 
   // Ideal code-separated pilot observation of UE l in the beam domain,

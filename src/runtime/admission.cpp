@@ -29,86 +29,117 @@ Overload_policy overload_from_name(const std::string& name) {
   return Overload_policy::off;  // unreachable
 }
 
-namespace {
-
-// Predicted FCFS state of one shard.  `starts` holds the predicted start
-// times of admitted jobs, popped once they are past - start times are
-// non-decreasing (earliest-free-server time never decreases and arrivals
-// are non-decreasing), so the deque front is always the oldest pending
-// start and its size after popping is the backlog at the current arrival.
-struct Shard_clock {
-  std::vector<double> free_at;
-  std::deque<double> starts;
-};
-
-}  // namespace
-
 std::vector<Admission_verdict> admit_jobs(
     const std::vector<Slot_job>& jobs,
     const std::vector<uint32_t>& shard_of_group, uint32_t n_shards,
     uint32_t service_units, const arch::Cluster_config& cluster,
     double clock_ghz, const Admission_options& opt) {
-  PP_CHECK(n_shards >= 1, "admission needs at least one shard");
+  Admission_state state(n_shards, std::max(1u, service_units));
+  return admit_jobs(jobs, shard_of_group, n_shards, service_units, cluster,
+                    clock_ghz, opt, state);
+}
+
+Admission_verdict admit_one(const Slot_job& job, uint32_t shard,
+                            const arch::Cluster_config& cluster,
+                            double clock_ghz, const Admission_options& opt,
+                            Admission_state& state) {
+  PP_CHECK(shard < state.shards.size(),
+           "placement returned an out-of-range shard");
   PP_CHECK(opt.min_ue >= 1, "degrade floor must keep at least one UE layer");
-  const uint32_t servers = std::max(1u, service_units);
-  std::vector<Shard_clock> shards(n_shards);
-  for (auto& s : shards) s.free_at.assign(servers, 0.0);
+  Admission_verdict v;
+  v.shard = shard;
+  v.cfg = job.cfg;
+  Admission_state::Shard_clock& clock = state.shards[shard];
+
+  // Earliest-free virtual cluster, ties to the lowest id - the same
+  // deterministic pick as fcfs_completion().
+  size_t server = 0;
+  for (size_t j = 1; j < clock.free_at.size(); ++j) {
+    if (clock.free_at[j] < clock.free_at[server]) server = j;
+  }
+  const double start = std::max(job.arrival_s, clock.free_at[server]);
+  double service = analytic_service_seconds(v.cfg, cluster, clock_ghz);
+  v.predicted_delay_s = start + service - job.arrival_s;
+
+  switch (opt.policy) {
+    case Overload_policy::off:
+      break;
+    case Overload_policy::drop:
+      if (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s) {
+        v.outcome = Admission_verdict::Outcome::dropped;
+      }
+      break;
+    case Overload_policy::queue:
+      while (!clock.starts.empty() && clock.starts.front() <= job.arrival_s) {
+        clock.starts.pop_front();
+      }
+      if (clock.starts.size() >= opt.queue_limit) {
+        v.outcome = Admission_verdict::Outcome::dropped;
+      }
+      break;
+    case Overload_policy::degrade:
+      while (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s &&
+             v.cfg.n_ue > opt.min_ue) {
+        v.cfg = phy::degrade_to_layers(v.cfg, v.cfg.n_ue - 1);
+        service = analytic_service_seconds(v.cfg, cluster, clock_ghz);
+        v.predicted_delay_s = start + service - job.arrival_s;
+      }
+      if (v.cfg.n_ue != job.cfg.n_ue) {
+        v.outcome = Admission_verdict::Outcome::degraded;
+      }
+      break;
+  }
+
+  if (v.outcome != Admission_verdict::Outcome::dropped) {
+    clock.free_at[server] = start + service;
+    clock.starts.push_back(start);
+  }
+  return v;
+}
+
+void replay_one(const Slot_job& job, const Admission_verdict& v,
+                const arch::Cluster_config& cluster, double clock_ghz,
+                Admission_state& state) {
+  if (v.outcome == Admission_verdict::Outcome::dropped) return;
+  PP_CHECK(v.shard < state.shards.size(), "replayed verdict shard mismatch");
+  Admission_state::Shard_clock& clock = state.shards[v.shard];
+  // Retire starts that are past this arrival (harmless for policies that
+  // never read the backlog), then occupy the earliest-free server with the
+  // verdict's FINAL config - a degraded job loads its re-planned service.
+  while (!clock.starts.empty() && clock.starts.front() <= job.arrival_s) {
+    clock.starts.pop_front();
+  }
+  size_t server = 0;
+  for (size_t j = 1; j < clock.free_at.size(); ++j) {
+    if (clock.free_at[j] < clock.free_at[server]) server = j;
+  }
+  const double start = std::max(job.arrival_s, clock.free_at[server]);
+  clock.free_at[server] =
+      start + analytic_service_seconds(v.cfg, cluster, clock_ghz);
+  clock.starts.push_back(start);
+}
+
+// `starts` holds the predicted start times of admitted jobs, popped once
+// they are past - start times are non-decreasing within a pass
+// (earliest-free-server time never decreases and arrivals are
+// non-decreasing), so the deque front is always the oldest pending start
+// and its size after popping is the backlog at the current arrival.
+std::vector<Admission_verdict> admit_jobs(
+    const std::vector<Slot_job>& jobs,
+    const std::vector<uint32_t>& shard_of_group, uint32_t n_shards,
+    uint32_t service_units, const arch::Cluster_config& cluster,
+    double clock_ghz, const Admission_options& opt, Admission_state& state) {
+  PP_CHECK(n_shards >= 1, "admission needs at least one shard");
+  PP_CHECK(state.shards.size() == n_shards,
+           "admission state shard count mismatch");
+  (void)service_units;
 
   std::vector<Admission_verdict> verdicts(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
     const Slot_job& job = jobs[i];
     PP_CHECK(job.group < shard_of_group.size(), "slot job group out of range");
-    Admission_verdict& v = verdicts[i];
-    v.shard = shard_of_group[job.group];
-    PP_CHECK(v.shard < n_shards, "placement returned an out-of-range shard");
-    v.cfg = job.cfg;
-    Shard_clock& clock = shards[v.shard];
-
-    // Earliest-free virtual cluster, ties to the lowest id - the same
-    // deterministic pick as fcfs_completion().
-    size_t server = 0;
-    for (size_t j = 1; j < clock.free_at.size(); ++j) {
-      if (clock.free_at[j] < clock.free_at[server]) server = j;
-    }
-    const double start = std::max(job.arrival_s, clock.free_at[server]);
-    double service =
-        analytic_service_seconds(v.cfg, cluster, clock_ghz);
-    v.predicted_delay_s = start + service - job.arrival_s;
-
-    switch (opt.policy) {
-      case Overload_policy::off:
-        break;
-      case Overload_policy::drop:
-        if (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s) {
-          v.outcome = Admission_verdict::Outcome::dropped;
-        }
-        break;
-      case Overload_policy::queue:
-        while (!clock.starts.empty() &&
-               clock.starts.front() <= job.arrival_s) {
-          clock.starts.pop_front();
-        }
-        if (clock.starts.size() >= opt.queue_limit) {
-          v.outcome = Admission_verdict::Outcome::dropped;
-        }
-        break;
-      case Overload_policy::degrade:
-        while (job.budget_s > 0.0 && v.predicted_delay_s > job.budget_s &&
-               v.cfg.n_ue > opt.min_ue) {
-          v.cfg = phy::degrade_to_layers(v.cfg, v.cfg.n_ue - 1);
-          service = analytic_service_seconds(v.cfg, cluster, clock_ghz);
-          v.predicted_delay_s = start + service - job.arrival_s;
-        }
-        if (v.cfg.n_ue != job.cfg.n_ue) {
-          v.outcome = Admission_verdict::Outcome::degraded;
-        }
-        break;
-    }
-
-    if (v.outcome != Admission_verdict::Outcome::dropped) {
-      clock.free_at[server] = start + service;
-      clock.starts.push_back(start);
-    }
+    verdicts[i] = admit_one(job, shard_of_group[job.group], cluster,
+                            clock_ghz, opt, state);
   }
   return verdicts;
 }

@@ -308,6 +308,7 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
     }
   }
   out.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  out.symbols = std::move(eq);
   return out;
 }
 

@@ -203,6 +203,7 @@ Slot_result Parallel_backend::run_back(const Pipeline& p,
   out.evm = phy::evm_from_terms(evm_terms);
   out.ber = phy::payload_ber(sc, out.bits);
   out.sigma2_hat = sigma2_hat;
+  out.symbols = std::move(symbols);
   mirror_sim_stage_runs(p, cfg, out);
   return out;
 }

@@ -73,11 +73,12 @@ Slot_front Reference_backend::run_front(const Pipeline&,
 Slot_result Reference_backend::run_back(const Pipeline& p,
                                         const phy::Uplink_scenario& sc,
                                         Slot_front front) {
-  const auto golden = phy::golden_back(sc, front.beams);
+  auto golden = phy::golden_back(sc, front.beams);
 
   Slot_result out;
   out.backend = "reference";
   out.bits = golden.bits;
+  out.symbols = std::move(golden.symbols);
   out.evm = golden.evm;
   out.ber = golden.ber;
   out.sigma2_hat = golden.sigma2_hat;

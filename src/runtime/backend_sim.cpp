@@ -266,6 +266,7 @@ Slot_result Sim_backend::run_slot(const Pipeline& p,
     }
   }
   out.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
+  out.symbols = std::move(eq);
   return out;
 }
 

@@ -135,6 +135,11 @@ struct Slot_result {
   std::vector<Stage> stages;
 
   std::vector<std::vector<uint8_t>> bits;  // recovered payload per UE
+  // Equalized data symbols per UE, in (data symbol, sub-carrier) item order
+  // - exactly the vector the backend demodulated into `bits`.  The HARQ
+  // combiner (runtime/harq.h) accumulates these across retransmission
+  // attempts for the combined decode.
+  std::vector<std::vector<phy::cd>> symbols;
   double evm = 0.0;         // vs transmitted constellation points
   double ber = 0.0;
   double sigma2_hat = 0.0;  // NE output (beam-grid units)

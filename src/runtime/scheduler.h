@@ -128,7 +128,32 @@ struct Scheduler_options {
   // searches probe many load points and only need the queue behavior).
   // Slot results, EVM/BER and cycles are zero; the latency/deadline/
   // admission surface is bit-identical to a full run on any host backend.
+  // Incompatible with max_harq > 0: retransmission verdicts need executed
+  // BER, which virtual-only runs never produce (PP_CHECK).
   bool virtual_only = false;
+
+  // ---- HARQ retransmission loop ----------------------------------------
+  // Close the loop between decode quality and offered load: after each
+  // round, every slot whose best decoded BER (Harq_combiner: min over
+  // per-attempt and chase-combined decodes) exceeds `harq_ber` re-enters
+  // the stream as a retransmission - the same transport block under a fresh
+  // fade (phy::Uplink_config::harq_attempt), arriving one deadline budget
+  // after its predecessor and admitted by re-running the predictor
+  // chronologically over the whole stream (admission.h: replay_one +
+  // admit_one), so it contends with the load actually present around its
+  // arrival.  At most `max_harq` retransmissions per
+  // original slot; 0 disables the loop and reproduces the pre-HARQ engine
+  // bit for bit.  A slot whose every attempt was dropped by admission
+  // counts as failed and is retransmitted too (NACK-on-silence).
+  uint32_t max_harq = 0;
+  double harq_ber = 0.0;  // decode passes when best BER <= this threshold
+
+  // Force the analytic MAC service model for the deadline accounting even
+  // on cycle-accurate backends.  The scenario-parity suite uses this to
+  // compare the full deadline/admission/HARQ surface across sim and host
+  // backends, where simulated-cycle service times would legitimately
+  // differ.  Default off: sim serves by its own cycles, as always.
+  bool analytic_service = false;
 };
 
 struct Schedule_result {
@@ -146,6 +171,9 @@ struct Schedule_result {
     uint64_t deadline_slots = 0;   // executed slots that carried a budget
     uint64_t deadline_misses = 0;  // virtual latency above the budget
     Latency_histogram latency;     // virtual-time latency of these slots
+    uint64_t harq_retx = 0;       // retransmission jobs this group generated
+    uint64_t harq_recovered = 0;  // blocks that failed, retried and passed
+    uint64_t harq_exhausted = 0;  // blocks still failing after max_harq
   };
   std::vector<Group> groups;
 
@@ -160,8 +188,31 @@ struct Schedule_result {
     uint64_t deadline_slots = 0;
     uint64_t deadline_misses = 0;
     Latency_histogram latency;  // this shard's virtual-clock latencies
+    uint64_t harq_retx = 0;
+    uint64_t harq_recovered = 0;
+    uint64_t harq_exhausted = 0;
   };
   std::vector<Shard> shards;
+
+  // One entry per job in stream order when the HARQ loop is on (max_harq >
+  // 0; empty otherwise): which original slot the job serves, its attempt
+  // number (0 = initial transmission), the block's best decoded BER after
+  // the job's round folded it in (1.0 while every attempt was dropped), and
+  // whether the block had passed the threshold by then.  This is the
+  // retransmission schedule + combined-decode surface the determinism
+  // contract covers.
+  struct Harq_entry {
+    uint64_t parent = 0;
+    uint32_t attempt = 0;
+    double combined_ber = 1.0;
+    bool passed = false;
+
+    bool operator==(const Harq_entry& o) const {
+      return parent == o.parent && attempt == o.attempt &&
+             combined_ber == o.combined_ber && passed == o.passed;
+    }
+  };
+  std::vector<Harq_entry> harq;
 
   // Per-slot results in stream order (empty when keep_slots is off;
   // dropped slots keep a default-constructed Slot_result).
@@ -175,6 +226,9 @@ struct Schedule_result {
   uint64_t degraded = 0;
   uint64_t deadline_slots = 0;
   uint64_t deadline_misses = 0;
+  uint64_t harq_retx = 0;       // retransmission jobs generated
+  uint64_t harq_recovered = 0;  // failed blocks a retransmission rescued
+  uint64_t harq_exhausted = 0;  // blocks still failing after max_harq
   double virtual_makespan_s = 0.0;  // last completion on any shard's clock
 
   // Host-dependent surface: measured per-slot service times and wall clock.
@@ -207,6 +261,17 @@ struct Schedule_result {
   // re-checks use (bench_serve_latency, tests/test_scheduler.cpp), so a new
   // deterministic field only needs adding here.
   bool deterministic_equal(const Schedule_result& o) const;
+
+  // Cross-backend scenario surface: everything deterministic_equal covers
+  // EXCEPT the fields that legitimately differ between arithmetic families
+  // (EVM, sigma2_hat - double vs. Q15 numerics - and simulated cycles).
+  // Payload bits, BER, the HARQ schedule/verdicts, admission counters,
+  // deadline counters, latency histograms and the virtual makespan must all
+  // match - so comparing sim against host backends requires
+  // Scheduler_options::analytic_service (cycle-based service times are a
+  // different clock) and operating points where the decoded bits agree
+  // (tests/test_scenario_parity.cpp pins a grid of them).
+  bool scenario_equal(const Schedule_result& o) const;
 
   // ASCII per-group table plus a latency/deadline/throughput footer; adds
   // a per-shard table and a serving summary line when the engine runs

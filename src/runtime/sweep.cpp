@@ -50,6 +50,10 @@ phy::Uplink_config Sweep_runner::slot_config(const Sweep_grid& grid,
   c.channel_gain = grid.channel_gain;
   c.coherence = grid.coherence;
   c.seed = slot_seed(grid.base_seed, slot_index);
+  c.profile = grid.profile;
+  c.doppler_hz = grid.doppler_hz;
+  c.delay_spread = grid.delay_spread;
+  c.symbol_s = grid.symbol_s;
   return c;
 }
 

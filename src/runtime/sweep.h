@@ -62,6 +62,15 @@ struct Sweep_grid {
   uint32_t coherence = 16;
   uint64_t base_seed = 1;
 
+  // Channel profile shared by every point (phy/channel.h): block-fading
+  // Rayleigh by default, or a TDL power-delay profile with per-UE Doppler
+  // evolution.  delay_spread is in subcarrier-grid samples, symbol_s the
+  // OFDM symbol duration driving the Doppler correlation.
+  phy::Channel_profile profile = phy::Channel_profile::flat;
+  double doppler_hz = 0.0;
+  double delay_spread = 4.0;
+  double symbol_s = 1e-3 / 14;
+
   // Grid points in deterministic walk order.
   std::vector<Sweep_point> points() const;
   uint64_t n_points() const;

@@ -40,11 +40,24 @@ Traffic_source::Traffic_source(Traffic_config cfg) : cfg_(std::move(cfg)) {
   knobs.coherence = cfg_.coherence;
   knobs.base_seed = cfg_.base_seed;
 
+  // Channel knobs are per cell: each cell carries its own profile and
+  // Doppler, and the OFDM symbol duration feeding the fading model follows
+  // the cell's numerology so absolute-time fading rates are honest across
+  // a mixed-mu deployment.
+  const size_t n_cells = cfg_.cells.size();
+  std::vector<Sweep_grid> cell_knobs(n_cells, knobs);
+  for (size_t c = 0; c < n_cells; ++c) {
+    const Traffic_cell& cell = cfg_.cells[c];
+    cell_knobs[c].profile = cell.profile;
+    cell_knobs[c].doppler_hz = cell.doppler_hz;
+    cell_knobs[c].delay_spread = cell.delay_spread;
+    cell_knobs[c].symbol_s = cell.slot_seconds() / cfg_.n_symb;
+  }
+
   // Per-cell arrival streams: next pending arrival time of every cell, each
   // advanced from its own seeded RNG.  The global stream is the n_slots
   // earliest events of the merge - deterministic, and prefix-stable under a
   // larger n_slots because each cell's sequence only ever extends.
-  const size_t n_cells = cfg_.cells.size();
   std::vector<common::Rng> rng;
   std::vector<double> next_s(n_cells);
   rng.reserve(n_cells);
@@ -70,8 +83,8 @@ Traffic_source::Traffic_source(Traffic_config cfg) : cfg_(std::move(cfg)) {
     job.arrival_s = next_s[c];
     job.budget_s = cell.budget_seconds();
     job.cfg = Sweep_runner::slot_config(
-        knobs, Sweep_point{cell.fft_size, cell.n_ue, cell.qam, cell.snr_db},
-        i);
+        cell_knobs[c],
+        Sweep_point{cell.fft_size, cell.n_ue, cell.qam, cell.snr_db}, i);
     jobs_.push_back(std::move(job));
 
     next_s[c] += exp_gap(rng[c], cell.slot_seconds() / cell.load);
@@ -99,10 +112,17 @@ std::string Traffic_source::group_label(uint32_t group) const {
   PP_CHECK(group < cfg_.cells.size(), "traffic cell index out of range");
   const Traffic_cell& cell = cfg_.cells[group];
   if (!cell.name.empty()) return cell.name;
-  return "cell" + std::to_string(group) + " mu" + std::to_string(cell.mu) +
-         " fft" + std::to_string(cell.fft_size) + " ue" +
-         std::to_string(cell.n_ue) + " qam" +
-         std::to_string(static_cast<uint32_t>(cell.qam));
+  std::string label =
+      "cell" + std::to_string(group) + " mu" + std::to_string(cell.mu) +
+      " fft" + std::to_string(cell.fft_size) + " ue" +
+      std::to_string(cell.n_ue) + " qam" +
+      std::to_string(static_cast<uint32_t>(cell.qam));
+  // Only non-flat profiles suffix the label, so pre-fading baselines and
+  // report keys are unchanged for the default channel.
+  if (cell.profile != phy::Channel_profile::flat) {
+    label += " " + std::string(phy::channel_profile_name(cell.profile));
+  }
+  return label;
 }
 
 Slot_job Traffic_source::job(uint64_t index) const {

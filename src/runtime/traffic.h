@@ -48,6 +48,14 @@ struct Traffic_cell {
   double load = 0.5;
   // Deadline override in seconds; 0 = the numerology slot duration.
   double budget_s = 0.0;
+  // Per-cell channel profile (phy/channel.h): flat block fading by default,
+  // or a TDL power-delay profile with Doppler evolution.  The OFDM symbol
+  // duration feeding the Doppler model follows the cell's numerology
+  // (slot_seconds() / n_symb), so a mu=3 cell fades faster in absolute
+  // time than a mu=0 cell at the same doppler_hz.
+  phy::Channel_profile profile = phy::Channel_profile::flat;
+  double doppler_hz = 0.0;
+  double delay_spread = 4.0;  // subcarrier-grid samples
 
   double slot_seconds() const { return phy::slot_budget_seconds(mu); }
   double budget_seconds() const {

@@ -88,7 +88,7 @@ TEST(Channel, RayleighUnitVarianceAcrossRealizations) {
     for (uint32_t sc = 0; sc < 64; sc += 16) {
       for (uint32_t r = 0; r < 4; ++r) {
         for (uint32_t l = 0; l < 2; ++l) {
-          acc += std::norm(ch.h(sc, r, l));
+          acc += std::norm(ch.h(0, sc, r, l));
           ++n;
         }
       }
@@ -100,8 +100,8 @@ TEST(Channel, RayleighUnitVarianceAcrossRealizations) {
 TEST(Channel, CoherenceBlocksAreConstant) {
   Rng rng(8);
   phy::Channel ch(phy::Channel_config{64, 2, 1, 16, 1.0, 0.0}, rng);
-  EXPECT_EQ(ch.h(0, 0, 0), ch.h(15, 0, 0));
-  EXPECT_NE(ch.h(0, 0, 0), ch.h(16, 0, 0));
+  EXPECT_EQ(ch.h(0, 0, 0, 0), ch.h(0, 15, 0, 0));
+  EXPECT_NE(ch.h(0, 0, 0, 0), ch.h(0, 16, 0, 0));
 }
 
 TEST(Codebook, ColumnsOrthonormal) {
