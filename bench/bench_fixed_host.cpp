@@ -115,6 +115,35 @@ int main(int argc, char** argv) {
               "%.2e).\n",
               fixed::simd_isa(), 100 * res_simd.evm, res_simd.ber);
 
+  // ---- steady-state serving loop: zero allocations after warm-up --------
+  // Repeated execute_into() on the persistent SIMD backend with a reused
+  // result: the warm-up passes grow the slot workspaces, after which the
+  // measured passes must never touch the heap.  PP_COUNT_ALLOCS builds turn
+  // that into a hard gate; other builds still record the (constant-0)
+  // metric plus the steady wall-clock.
+  constexpr uint64_t kSteadySlots = 8;
+  runtime::Slot_result steady_res;
+  double steady_s = 0.0;
+  const double apslot = bench::allocs_per_slot(
+      kSteadySlots,
+      [&] {
+        for (int i = 0; i < 2; ++i) {
+          pipeline.execute_into(sc, simd, steady_res);
+        }
+      },
+      [&] {
+        const double t0 = now_seconds();
+        for (uint64_t i = 0; i < kSteadySlots; ++i) {
+          pipeline.execute_into(sc, simd, steady_res);
+        }
+        steady_s = (now_seconds() - t0) / kSteadySlots;
+      });
+  const int alloc_gate = bench::gate_steady_allocs("bench_fixed_host", apslot);
+  std::printf("steady state (fixed %s): %.2f ms/slot, %g allocs/slot, "
+              "%zu KiB workspace\n",
+              fixed::simd_isa(), steady_s * 1e3, apslot,
+              simd.workspace_bytes() / 1024);
+
   auto rep = bench::make_report("bench_fixed_host", "[host]",
                                 "fixed-point host backend wall-clock");
   rep.add_meta("hardware_threads",
@@ -131,5 +160,8 @@ int main(int argc, char** argv) {
                  "info");
   rep.add_row("parity").metric("scalar_simd_bit_identical", 1.0, "bool", true,
                                "higher");
-  return bench::emit(rep, cli);
+  auto& row_steady = rep.add_row("steady");
+  row_steady.metric("allocs_per_slot", apslot, "allocs/slot", true, "exact");
+  row_steady.metric("steady_slot_ms", steady_s * 1e3, "ms", false, "info");
+  return bench::emit(rep, cli) | alloc_gate;
 }

@@ -18,15 +18,25 @@
 // roughly half its mu=1 budget, the same service-to-budget ratio the paper
 // reports for the full 4096-point slot on a 1 GHz cluster (§VI: ~0.4 ms of
 // 0.5 ms), so queueing - not raw service time - decides the misses.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "runtime/backend.h"
+#include "runtime/presets.h"
 #include "runtime/traffic.h"
 
 namespace {
 
 using namespace pp;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Positive-range check on top of Cli's validated double parsing, same
 // readable error + exit-2 convention.
@@ -96,6 +106,55 @@ int main(int argc, char** argv) {
   std::printf("aggregates bit-identical across workers/pipelining: %s\n",
               ok ? "yes" : "NO");
 
+  // ---- steady-state serving loop: zero allocations after warm-up --------
+  // The serving path's slot executions on one persistent host backend over
+  // prebuilt scenarios (scenario construction itself stays allocating by
+  // design - DETERMINISM.md section 10 - and the sim backend rebuilds its
+  // machine per slot, so the sim default is stood in for by its bit-exact
+  // host twin "fixed").  The warm-up passes grow the slot workspaces; the
+  // measured passes must never touch the heap.  PP_COUNT_ALLOCS builds
+  // enforce that with an exit-1 gate.
+  const std::string steady_name =
+      opt.backend == "sim" ? "fixed" : opt.backend;
+  const auto steady_backend = runtime::make_backend(steady_name, 1);
+  const runtime::Pipeline pipeline =
+      runtime::uplink_pipeline(opt.cluster, opt.uplink);
+  const uint64_t n_steady = std::min<uint64_t>(source.n_slots(), 12);
+  std::vector<std::unique_ptr<const phy::Uplink_scenario>> scenarios;
+  scenarios.reserve(n_steady);
+  for (uint64_t i = 0; i < n_steady; ++i) {
+    scenarios.push_back(
+        std::make_unique<const phy::Uplink_scenario>(source.job(i).cfg));
+  }
+  constexpr int kSteadyPasses = 3;
+  runtime::Slot_result steady_res;
+  double steady_s = 0.0;
+  const double apslot = bench::allocs_per_slot(
+      kSteadyPasses * n_steady,
+      [&] {
+        for (int i = 0; i < 2; ++i) {
+          for (const auto& s : scenarios) {
+            pipeline.execute_into(*s, *steady_backend, steady_res);
+          }
+        }
+      },
+      [&] {
+        const double t0 = now_seconds();
+        for (int pass = 0; pass < kSteadyPasses; ++pass) {
+          for (const auto& s : scenarios) {
+            pipeline.execute_into(*s, *steady_backend, steady_res);
+          }
+        }
+        steady_s =
+            (now_seconds() - t0) / static_cast<double>(kSteadyPasses * n_steady);
+      });
+  const int alloc_gate =
+      bench::gate_steady_allocs("bench_serve_latency", apslot);
+  std::printf("steady state (%s backend): %.1f us/slot, %g allocs/slot, "
+              "%zu KiB workspace\n",
+              steady_name.c_str(), steady_s * 1e6, apslot,
+              steady_backend->workspace_bytes() / 1024);
+
   rep.add_meta("backend", opt.backend);
   rep.add_meta("cluster", opt.cluster.name);
   rep.add_meta("servers", std::to_string(opt.service_units));
@@ -136,5 +195,8 @@ int main(int argc, char** argv) {
                 false, "info");
   totals.metric("parallel_slots_per_s", overlapped.slots_per_second(),
                 "slots/s", false, "info");
-  return bench::emit(rep, cli) | (ok ? 0 : 1);
+  rep.add_meta("steady_backend", steady_name);
+  totals.metric("allocs_per_slot", apslot, "allocs/slot", true, "exact");
+  totals.metric("steady_slot_us", steady_s * 1e6, "us", false, "info");
+  return bench::emit(rep, cli) | (ok ? 0 : 1) | alloc_gate;
 }

@@ -14,6 +14,7 @@
 
 #include "baseline/reference.h"
 #include "bench/report.h"
+#include "common/alloc_count.h"
 #include "common/cli.h"
 #include "common/complex16.h"
 #include "common/rng.h"
@@ -222,6 +223,41 @@ inline void print_catalog() {
   for (const auto& [name, summary] : runtime::Registry::instance().list()) {
     std::printf("  %-15s %s\n", name.c_str(), summary.c_str());
   }
+}
+
+// ---- steady-state allocation accounting (PP_COUNT_ALLOCS) -----------------
+
+// Allocations per slot over a measured region: warm() runs first (slot
+// workspaces grow to their stable shapes), then the global allocation
+// counter is read around run(), which must cover `n_slots` slot
+// executions.  In builds without PP_COUNT_ALLOCS alloc_count() is a
+// constant 0, so the metric exists - and reads 0 - in every build and the
+// baselines can gate it "exact".
+template <typename Warm, typename Run>
+inline double allocs_per_slot(uint64_t n_slots, Warm&& warm, Run&& run) {
+  warm();
+  const uint64_t a0 = common::alloc_count();
+  run();
+  const uint64_t delta = common::alloc_count() - a0;
+  return static_cast<double>(delta) / static_cast<double>(n_slots);
+}
+
+// Self-gate on the zero-steady-state-allocation contract: active only when
+// the counter is compiled in (check.sh builds the benches with
+// PP_COUNT_ALLOCS=1 and runs this gate).  Returns the process exit-code
+// contribution: 0 when the contract holds or the counter is off.
+inline int gate_steady_allocs(const char* what, double per_slot) {
+  if (!common::alloc_count_enabled()) return 0;
+  if (per_slot == 0.0) {
+    std::printf("%s: 0 steady-state heap allocations per slot (gate ok)\n",
+                what);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "%s: %g steady-state heap allocations per slot "
+               "(contract: 0 after warm-up)\n",
+               what, per_slot);
+  return 1;
 }
 
 // ---- reporting ------------------------------------------------------------

@@ -6,11 +6,13 @@
 # (pusch_serve, stage-pipelined and --list), the fading channel profiles
 # and HARQ loop (TDL serve + bench_scenario_mix), the sharded serving
 # engine (placement + overload policies, CLI validation, bench_capacity), a
-# markdown link check over README + docs/, and a bench_all --quick pass
+# markdown link check over README + docs/, a bench_all --quick pass
 # whose JSON reports are
 # validated and diffed against the committed baseline
-# (bench/baselines/quick.json, deterministic metrics only).  Suitable as a
-# CI entry point; exits non-zero on any failure.
+# (bench/baselines/quick.json, deterministic metrics only), and a
+# PP_COUNT_ALLOCS build of the serving benches that gates the
+# zero-steady-state-allocation workspace contract.  Suitable as a CI entry
+# point; exits non-zero on any failure.
 #
 # CHECK_TSAN=1 additionally builds the concurrency tests (slot scheduler,
 # sweep engine, traffic source, shared lazy tables, parallel + fixed
@@ -140,6 +142,20 @@ else
   echo "python3 not found - skipped JSON validation + baseline diff"
 fi
 
+echo "--- zero-steady-state-allocation gate (PP_COUNT_ALLOCS build) ---"
+# Separate build tree with the counting operator new: the serving benches'
+# steady-state sections exit non-zero if any slot after warm-up touches the
+# heap (the workspace contract, docs/DETERMINISM.md section 10).
+ALLOC_DIR="${BUILD_DIR}-allocs"
+cmake -B "$ALLOC_DIR" -S . -DPP_COUNT_ALLOCS=ON -DBUILD_TESTING=OFF
+cmake --build "$ALLOC_DIR" -j "$JOBS" \
+  --target bench_serve_latency bench_fixed_host
+"$ALLOC_DIR"/bench/bench_serve_latency --slots 12 > /dev/null
+"$ALLOC_DIR"/bench/bench_serve_latency --slots 12 --backend parallel \
+    > /dev/null
+"$ALLOC_DIR"/bench/bench_fixed_host --fft 256 --symb 4 > /dev/null
+echo "steady-state serving loop allocates nothing after warm-up"
+
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   echo "--- opt-in: ThreadSanitizer build of the concurrency tests ---"
   TSAN_DIR="${BUILD_DIR}-tsan"
@@ -150,10 +166,10 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
     --target test_sweep test_thread_safety test_rng test_backend_parallel \
              test_backend_fixed test_scheduler test_traffic test_admission \
              test_placement test_sim_differential test_sim_fuzz test_harq \
-             test_harq_fuzz test_scenario_parity
+             test_harq_fuzz test_scenario_parity test_workspace
   ctest --test-dir "$TSAN_DIR" --output-on-failure --no-tests=error \
     -j "$JOBS" \
-    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement|SimDifferential|SimFuzz|Harq|ScenarioParity'
+    -R 'Sweep|ThreadSafety|Rng|ThreadPool|ParallelBackend|FixedBackend|FixedQ15|Scheduler|Traffic|Admission|Placement|SimDifferential|SimFuzz|Harq|ScenarioParity|Workspace'
 fi
 
 if [[ "${CHECK_UBSAN:-0}" == "1" ]]; then

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/grid.h"
 #include "common/once_tables.h"
 
 namespace pp::ref {
@@ -93,14 +94,20 @@ std::vector<cd> fft(const std::vector<cd>& x) {
   return a;
 }
 
+void fft_into(const std::vector<cd>& x, std::vector<cd>& y) {
+  y.assign(x.begin(), x.end());
+  fft_inplace(y, false);
+  fft_scale(y, 0, y.size());
+}
+
 std::vector<cd> ifft(const std::vector<cd>& x) {
   std::vector<cd> a = x;
   fft_inplace(a, true);
   return a;
 }
 
-void matmul_rows(const std::vector<cd>& a, const std::vector<cd>& b,
-                 std::vector<cd>& c, size_t m, size_t k, size_t p,
+void matmul_rows(std::span<const cd> a, std::span<const cd> b,
+                 std::span<cd> c, size_t m, size_t k, size_t p,
                  size_t row_begin, size_t row_end) {
   PP_CHECK(a.size() == m * k && b.size() == k * p && c.size() == m * p,
            "matmul shape mismatch");
@@ -123,7 +130,7 @@ std::vector<cd> matmul(const std::vector<cd>& a, const std::vector<cd>& b,
   return c;
 }
 
-void gram_rows(const std::vector<cd>& a, std::vector<cd>& g, size_t m,
+void gram_rows(std::span<const cd> a, std::span<cd> g, size_t m,
                size_t k, size_t row_begin, size_t row_end) {
   PP_CHECK(a.size() == m * k && g.size() == k * k, "gram shape mismatch");
   PP_CHECK(row_begin <= row_end && row_end <= k, "gram row tile out of range");
@@ -144,9 +151,12 @@ std::vector<cd> gram(const std::vector<cd>& a, size_t m, size_t k) {
   return g;
 }
 
-std::vector<cd> cholesky(const std::vector<cd>& g, size_t n) {
+void cholesky_into(std::span<const cd> g, size_t n, std::span<cd> l) {
   PP_CHECK(g.size() == n * n, "cholesky shape mismatch");
-  std::vector<cd> l(n * n, cd{0.0, 0.0});
+  PP_CHECK(l.size() == n * n, "cholesky output shape mismatch");
+  // The factorization only writes the lower triangle; zero the rest so a
+  // reused workspace holds exactly what the returning form returns.
+  for (size_t i = 0; i < n * n; ++i) l[i] = cd{0.0, 0.0};
   for (size_t j = 0; j < n; ++j) {
     double diag = g[j * n + j].real();
     for (size_t k = 0; k < j; ++k) diag -= std::norm(l[j * n + k]);
@@ -161,23 +171,34 @@ std::vector<cd> cholesky(const std::vector<cd>& g, size_t n) {
       l[i * n + j] = acc / ljj;
     }
   }
+}
+
+std::vector<cd> cholesky(const std::vector<cd>& g, size_t n) {
+  std::vector<cd> l(n * n);
+  cholesky_into(g, n, l);
   return l;
 }
 
-std::vector<cd> forward_solve(const std::vector<cd>& l,
-                              const std::vector<cd>& y, size_t n) {
-  std::vector<cd> z(n);
+void forward_solve_into(std::span<const cd> l, std::span<const cd> y,
+                        size_t n, std::span<cd> z) {
+  PP_CHECK(z.size() == n, "forward_solve output shape mismatch");
   for (size_t i = 0; i < n; ++i) {
     cd acc = y[i];
     for (size_t k = 0; k < i; ++k) acc -= l[i * n + k] * z[k];
     z[i] = acc / l[i * n + i];
   }
+}
+
+std::vector<cd> forward_solve(const std::vector<cd>& l,
+                              const std::vector<cd>& y, size_t n) {
+  std::vector<cd> z(n);
+  forward_solve_into(l, y, n, z);
   return z;
 }
 
-std::vector<cd> backward_solve(const std::vector<cd>& l,
-                               const std::vector<cd>& z, size_t n) {
-  std::vector<cd> x(n);
+void backward_solve_into(std::span<const cd> l, std::span<const cd> z,
+                         size_t n, std::span<cd> x) {
+  PP_CHECK(x.size() == n, "backward_solve output shape mismatch");
   for (size_t ii = n; ii-- > 0;) {
     cd acc = z[ii];
     for (size_t k = ii + 1; k < n; ++k) {
@@ -185,21 +206,46 @@ std::vector<cd> backward_solve(const std::vector<cd>& l,
     }
     x[ii] = acc / l[ii * n + ii];
   }
+}
+
+std::vector<cd> backward_solve(const std::vector<cd>& l,
+                               const std::vector<cd>& z, size_t n) {
+  std::vector<cd> x(n);
+  backward_solve_into(l, z, n, x);
   return x;
+}
+
+void lmmse_into(std::span<const cd> h, std::span<const cd> y, size_t m,
+                size_t n, double sigma2, Lmmse_ws& ws, std::span<cd> x) {
+  PP_CHECK(x.size() == n, "lmmse output shape mismatch");
+  common::ws_grow(ws.g, n * n);
+  common::ws_grow(ws.l, n * n);
+  common::ws_grow(ws.rhs, n);
+  common::ws_grow(ws.z, n);
+  // G = H^H H + sigma2 I
+  gram_rows(h, ws.g, m, n, 0, n);
+  for (size_t i = 0; i < n; ++i) ws.g[i * n + i] += sigma2;
+  // rhs = H^H y
+  for (size_t i = 0; i < n; ++i) {
+    cd acc{0.0, 0.0};
+    for (size_t r = 0; r < m; ++r) acc += std::conj(h[r * n + i]) * y[r];
+    ws.rhs[i] = acc;
+  }
+  cholesky_into(std::span<const cd>{ws.g.data(), n * n}, n,
+                std::span<cd>{ws.l.data(), n * n});
+  forward_solve_into(std::span<const cd>{ws.l.data(), n * n},
+                     std::span<const cd>{ws.rhs.data(), n}, n,
+                     std::span<cd>{ws.z.data(), n});
+  backward_solve_into(std::span<const cd>{ws.l.data(), n * n},
+                      std::span<const cd>{ws.z.data(), n}, n, x);
 }
 
 std::vector<cd> lmmse(const std::vector<cd>& h, const std::vector<cd>& y,
                       size_t m, size_t n, double sigma2) {
-  // G = H^H H + sigma2 I
-  std::vector<cd> g = gram(h, m, n);
-  for (size_t i = 0; i < n; ++i) g[i * n + i] += sigma2;
-  // rhs = H^H y
-  std::vector<cd> rhs(n, cd{0.0, 0.0});
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t r = 0; r < m; ++r) rhs[i] += std::conj(h[r * n + i]) * y[r];
-  }
-  const std::vector<cd> l = cholesky(g, n);
-  return backward_solve(l, forward_solve(l, rhs, n), n);
+  std::vector<cd> x(n);
+  Lmmse_ws ws;
+  lmmse_into(h, y, m, n, sigma2, ws, x);
+  return x;
 }
 
 double mse(const std::vector<cd>& a, const std::vector<cd>& b) {

@@ -13,6 +13,7 @@
 #define PUSCHPOOL_BASELINE_REFERENCE_H
 
 #include <complex>
+#include <span>
 #include <vector>
 
 namespace pp::ref {
@@ -25,6 +26,11 @@ std::vector<cd> dft(const std::vector<cd>& x);
 
 // Fast radix-2 FFT (power-of-two sizes), scaled by 1/N like dft().
 std::vector<cd> fft(const std::vector<cd>& x);
+
+// fft() writing into a caller-owned output vector (reusing its capacity):
+// y is assigned from x, then transformed in place.  Bit-identical to
+// fft(); the workspace form the backends' hot paths use.
+void fft_into(const std::vector<cd>& x, std::vector<cd>& y);
 
 // Inverse of fft(): unscaled accumulation (fft(ifft(x)) == x).
 std::vector<cd> ifft(const std::vector<cd>& x);
@@ -53,6 +59,44 @@ std::vector<cd> backward_solve(const std::vector<cd>& l,
 std::vector<cd> lmmse(const std::vector<cd>& h, const std::vector<cd>& y,
                       size_t m, size_t n, double sigma2);
 
+// ---- workspace (_into) forms ----------------------------------------------
+//
+// Allocation-free variants of the solver chain: outputs land in
+// caller-owned spans, intermediates in a caller-owned Lmmse_ws whose
+// vectors grow geometrically and then stabilize (common::ws_grow).  Each
+// _into runs the exact arithmetic of its returning form - the returning
+// forms are thin wrappers - so results are bit-identical; only where the
+// bytes live changes.
+
+// Reusable intermediates for lmmse_into: the regularized Gram matrix, its
+// Cholesky factor, the matched-filter right-hand side and the forward
+// substitution result.
+struct Lmmse_ws {
+  std::vector<cd> g;
+  std::vector<cd> l;
+  std::vector<cd> rhs;
+  std::vector<cd> z;
+
+  size_t footprint_bytes() const {
+    return (g.capacity() + l.capacity() + rhs.capacity() + z.capacity()) *
+           sizeof(cd);
+  }
+};
+
+// cholesky() into a pre-sized span (l.size() == n*n); the strict upper
+// triangle is zero-filled exactly like the returning form.
+void cholesky_into(std::span<const cd> g, size_t n, std::span<cd> l);
+
+// forward_solve()/backward_solve() into pre-sized spans (size n).
+void forward_solve_into(std::span<const cd> l, std::span<const cd> y,
+                        size_t n, std::span<cd> z);
+void backward_solve_into(std::span<const cd> l, std::span<const cd> z,
+                         size_t n, std::span<cd> x);
+
+// lmmse() into a pre-sized span (x.size() == n), intermediates in ws.
+void lmmse_into(std::span<const cd> h, std::span<const cd> y, size_t m,
+                size_t n, double sigma2, Lmmse_ws& ws, std::span<cd> x);
+
 // ---- tiled sub-kernels ----------------------------------------------------
 //
 // The work-splitting surface: fft() is bit-reverse + one fft_stage_blocks()
@@ -77,14 +121,15 @@ void fft_stage_blocks(std::vector<cd>& a, size_t len, bool inverse,
 void fft_scale(std::vector<cd>& a, size_t begin, size_t end);
 
 // Rows [row_begin, row_end) of C = A * B (shapes as in matmul()).  C must
-// be pre-sized to m*p; a tile only writes its own rows.
-void matmul_rows(const std::vector<cd>& a, const std::vector<cd>& b,
-                 std::vector<cd>& c, size_t m, size_t k, size_t p,
+// be pre-sized to m*p; a tile only writes its own rows.  Spans, so tiles
+// can target rows of a flat workspace grid as well as whole vectors.
+void matmul_rows(std::span<const cd> a, std::span<const cd> b,
+                 std::span<cd> c, size_t m, size_t k, size_t p,
                  size_t row_begin, size_t row_end);
 
 // Rows [row_begin, row_end) of G = A^H A (shapes as in gram()).  G must be
 // pre-sized to k*k.
-void gram_rows(const std::vector<cd>& a, std::vector<cd>& g, size_t m,
+void gram_rows(std::span<const cd> a, std::span<cd> g, size_t m,
                size_t k, size_t row_begin, size_t row_end);
 
 // ---- error metrics --------------------------------------------------------

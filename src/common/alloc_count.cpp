@@ -1,0 +1,102 @@
+#include "common/alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace pp::common {
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+uint64_t alloc_count() { return g_allocs.load(std::memory_order_relaxed); }
+
+bool alloc_count_enabled() {
+#ifdef PP_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace pp::common
+
+#ifdef PP_COUNT_ALLOCS
+
+// Replaceable global allocation functions ([new.delete.single] /
+// [new.delete.array]).  Built on malloc/free so the hooks never recurse,
+// and kept deliberately minimal: count, allocate, honour the noexcept /
+// throwing contracts.  Alignment overloads route through aligned_alloc
+// with the size rounded up to a multiple of the alignment (a C11
+// requirement glibc tolerates but other libcs enforce).
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  pp::common::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  pp::common::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // PP_COUNT_ALLOCS

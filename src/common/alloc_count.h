@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pp::common {
+
+// Global heap-allocation counter behind the PP_COUNT_ALLOCS build option.
+//
+// When the repo is configured with -DPP_COUNT_ALLOCS=ON, alloc_count.cpp
+// replaces the global operator new/delete family with malloc/free wrappers
+// that bump a relaxed atomic on every allocation.  alloc_count() then
+// exposes the running total so benches can measure a steady-state
+// allocs-per-slot figure (and self-gate it to zero after workspace
+// warm-up).  In normal builds the hooks are compiled out and alloc_count()
+// returns 0 always, so callers can emit the derived metric unconditionally
+// - it is legitimately zero in both configurations and the committed
+// baseline can gate it `exact`.
+//
+// The counter is monotone and process-global (all threads).  Callers
+// measure deltas around a region of interest; the relaxed ordering is fine
+// because benches quiesce worker threads (join / pool drain) before
+// sampling.
+uint64_t alloc_count();
+
+// True when the counting hooks are actually installed in this build -
+// lets benches distinguish "zero allocations" from "not counting".
+bool alloc_count_enabled();
+
+}  // namespace pp::common

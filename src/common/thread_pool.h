@@ -22,7 +22,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -87,15 +86,24 @@ class Thread_pool {
   uint32_t workers() const { return workers_; }
 
   // Runs job(worker_id) on every worker (ids 0..workers()-1, id 0 on the
-  // calling thread) and returns once all have finished.
-  void run(const std::function<void(uint32_t)>& job) {
+  // calling thread) and returns once all have finished.  The callable is
+  // borrowed by reference for the duration of the call and dispatched
+  // through a function-pointer + context pair - no std::function, so a
+  // dispatch never heap-allocates however large the lambda's capture is
+  // (the serving loop's zero-allocation steady state depends on this;
+  // bench_serve_latency gates it under PP_COUNT_ALLOCS).
+  template <typename F>
+  void run(const F& job) {
     if (workers_ == 1) {
       job(0);
       return;
     }
     {
       std::lock_guard<std::mutex> lock(m_);
-      job_ = &job;
+      job_ctx_ = &job;
+      job_fn_ = [](const void* ctx, uint32_t w) {
+        (*static_cast<const F*>(ctx))(w);
+      };
       done_ = 0;
       ++epoch_;
     }
@@ -103,7 +111,8 @@ class Thread_pool {
     job(0);
     std::unique_lock<std::mutex> lock(m_);
     done_cv_.wait(lock, [&] { return done_ == threads_.size(); });
-    job_ = nullptr;
+    job_ctx_ = nullptr;
+    job_fn_ = nullptr;
   }
 
   // Contiguous slice [first, last) of [0, n) owned by `worker` out of
@@ -120,7 +129,8 @@ class Thread_pool {
 
   // Statically-partitioned parallel loop: fn(i) for every i in [0, n),
   // worker w covering its slice() in index order.
-  void parallel_for(uint64_t n, const std::function<void(uint64_t)>& fn) {
+  template <typename F>
+  void parallel_for(uint64_t n, const F& fn) {
     run([&](uint32_t w) {
       const auto [first, last] = slice(n, w, workers_);
       for (uint64_t i = first; i < last; ++i) fn(i);
@@ -131,15 +141,17 @@ class Thread_pool {
   void worker_loop(uint32_t id) {
     uint64_t seen = 0;
     for (;;) {
-      const std::function<void(uint32_t)>* job = nullptr;
+      void (*fn)(const void*, uint32_t) = nullptr;
+      const void* ctx = nullptr;
       {
         std::unique_lock<std::mutex> lock(m_);
         cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
         if (stop_) return;
         seen = epoch_;
-        job = job_;
+        fn = job_fn_;
+        ctx = job_ctx_;
       }
-      (*job)(id);
+      fn(ctx, id);
       {
         std::lock_guard<std::mutex> lock(m_);
         ++done_;
@@ -153,7 +165,8 @@ class Thread_pool {
   std::mutex m_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  const std::function<void(uint32_t)>* job_ = nullptr;
+  const void* job_ctx_ = nullptr;
+  void (*job_fn_)(const void*, uint32_t) = nullptr;
   uint64_t epoch_ = 0;
   uint32_t done_ = 0;
   bool stop_ = false;

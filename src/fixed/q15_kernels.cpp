@@ -145,19 +145,26 @@ void che_subcarriers(const std::vector<std::vector<cq15>>& y_sep,
                      const std::vector<std::vector<cq15>>& pilots, cq15* h,
                      uint32_t n_b, uint32_t n_l, uint32_t sc_begin,
                      uint32_t sc_end, bool simd) {
-  std::vector<cq15> row(n_b);
+  // Stack scratch, beam-blocked: this runs on the slot hot path once per
+  // worker per slot, so it must not heap-allocate (the serving loop's
+  // zero-steady-state contract).  The product is elementwise, so blocking
+  // leaves every output bit unchanged.
+  cq15 row[64];
   for (uint32_t sc = sc_begin; sc < sc_end; ++sc) {
     for (uint32_t l = 0; l < n_l; ++l) {
       const cq15 xc = cconj(pilots[l][sc]);
       const cq15* y = y_sep[l].data() + static_cast<size_t>(sc) * n_b;
-      uint32_t done = 0;
-      if (simd) done = cmul_double_prefix(y, xc, row.data(), n_b);
-      for (uint32_t b = done; b < n_b; ++b) {
-        const cq15 hv = cmul(y[b], xc);
-        row[b] = cadd(hv, hv);  // doubling folds the pilot |x|^2 = 1/2
-      }
-      for (uint32_t b = 0; b < n_b; ++b) {
-        h[(static_cast<size_t>(sc) * n_b + b) * n_l + l] = row[b];
+      for (uint32_t b0 = 0; b0 < n_b; b0 += 64) {
+        const uint32_t blk = std::min(64u, n_b - b0);
+        uint32_t done = 0;
+        if (simd) done = cmul_double_prefix(y + b0, xc, row, blk);
+        for (uint32_t b = done; b < blk; ++b) {
+          const cq15 hv = cmul(y[b0 + b], xc);
+          row[b] = cadd(hv, hv);  // doubling folds the pilot |x|^2 = 1/2
+        }
+        for (uint32_t b = 0; b < blk; ++b) {
+          h[(static_cast<size_t>(sc) * n_b + b0 + b) * n_l + l] = row[b];
+        }
       }
     }
   }

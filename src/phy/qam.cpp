@@ -70,13 +70,14 @@ std::vector<cd> qam_modulate(Qam q, const std::vector<uint8_t>& bits) {
   return out;
 }
 
-std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols) {
+void qam_demodulate_into(Qam q, const std::vector<cd>& symbols,
+                         std::vector<uint8_t>& bits) {
   const uint32_t bps = qam_bits(q);
   const uint32_t half = bps / 2;
   const uint32_t levels = 1u << half;
   const double s = axis_scale(levels);
 
-  std::vector<uint8_t> bits(symbols.size() * bps);
+  bits.resize(symbols.size() * bps);
   for (size_t i = 0; i < symbols.size(); ++i) {
     auto slice = [&](double v) -> uint32_t {
       const double lvl = (v / s + (levels - 1)) / 2.0;
@@ -92,6 +93,11 @@ std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols) {
       bits[i * bps + half + b] = (gq >> (half - 1 - b)) & 1;
     }
   }
+}
+
+std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols) {
+  std::vector<uint8_t> bits;
+  qam_demodulate_into(q, symbols, bits);
   return bits;
 }
 

@@ -22,6 +22,12 @@ std::vector<cd> qam_modulate(Qam q, const std::vector<uint8_t>& bits);
 // Hard-decision demodulation back to bits.
 std::vector<uint8_t> qam_demodulate(Qam q, const std::vector<cd>& symbols);
 
+// qam_demodulate() into a caller-owned vector, reusing its capacity
+// (bits is sized to symbols.size() * bits-per-symbol and fully
+// overwritten).  Bit-identical to the returning form.
+void qam_demodulate_into(Qam q, const std::vector<cd>& symbols,
+                         std::vector<uint8_t>& bits);
+
 // The constellation itself (for tests / EVM references).
 std::vector<cd> qam_constellation(Qam q);
 

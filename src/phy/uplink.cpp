@@ -1,5 +1,6 @@
 #include "phy/uplink.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "baseline/reference.h"
@@ -191,7 +192,7 @@ std::vector<cd> Uplink_scenario::beam_channel() const {
   return acc;
 }
 
-std::vector<cd> Uplink_scenario::pilot_obs_beam(uint32_t l) const {
+const std::vector<cd>& Uplink_scenario::pilot_obs_beam(uint32_t l) const {
   return pilot_obs_[l];
 }
 
@@ -205,24 +206,23 @@ void gather_subcarrier_rows(const std::vector<std::vector<cd>>& freq,
   }
 }
 
-void che_rows(const Uplink_scenario& sc,
-              const std::vector<std::vector<cd>>& obs, std::vector<cd>& h_hat,
+void che_rows(const Uplink_scenario& sc, std::vector<cd>& h_hat,
               uint64_t row_begin, uint64_t row_end) {
   const auto& cfg = sc.config();
   for (uint64_t i = row_begin; i < row_end; ++i) {
     const uint32_t l = static_cast<uint32_t>(i / cfg.n_sc);
     const uint32_t scx = static_cast<uint32_t>(i % cfg.n_sc);
     const cd p = sc.pilot(l)[scx];
+    const std::vector<cd>& obs = sc.pilot_obs_beam(l);
     for (uint32_t b = 0; b < cfg.n_beams; ++b) {
       h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l] =
-          obs[l][static_cast<size_t>(scx) * cfg.n_beams + b] * std::conj(p) /
+          obs[static_cast<size_t>(scx) * cfg.n_beams + b] * std::conj(p) /
           std::norm(p);
     }
   }
 }
 
-void ne_terms(const Uplink_scenario& sc,
-              const std::vector<std::vector<cd>>& beams,
+void ne_terms(const Uplink_scenario& sc, const common::Ws_grid<cd>& beams,
               const std::vector<cd>& h_hat, std::vector<double>& terms,
               uint64_t item_begin, uint64_t item_end) {
   const auto& cfg = sc.config();
@@ -237,35 +237,40 @@ void ne_terms(const Uplink_scenario& sc,
             sc.pilot(l)[scx];
       }
       terms[i * cfg.n_beams + b] = std::norm(
-          beams[s][static_cast<size_t>(scx) * cfg.n_beams + b] - yhat);
+          beams.at(s, static_cast<size_t>(scx) * cfg.n_beams + b) - yhat);
     }
   }
 }
 
-void mimo_items(const Uplink_scenario& sc,
-                const std::vector<std::vector<cd>>& beams,
+void mimo_items(const Uplink_scenario& sc, const common::Ws_grid<cd>& beams,
                 const std::vector<cd>& h_hat, double sigma2_hat,
                 std::vector<std::vector<cd>>& symbols,
-                std::vector<double>& evm_terms, uint64_t item_begin,
-                uint64_t item_end) {
+                std::vector<double>& evm_terms, Mimo_ws& ws,
+                uint64_t item_begin, uint64_t item_end) {
   const auto& cfg = sc.config();
-  std::vector<ref::cd> h(static_cast<size_t>(cfg.n_beams) * cfg.n_ue);
-  std::vector<ref::cd> y(cfg.n_beams);
+  common::ws_grow(ws.h, static_cast<size_t>(cfg.n_beams) * cfg.n_ue);
+  common::ws_grow(ws.y, cfg.n_beams);
+  common::ws_grow(ws.x, cfg.n_ue);
   for (uint64_t i = item_begin; i < item_end; ++i) {
     const uint32_t s = cfg.n_pilot_symb + static_cast<uint32_t>(i / cfg.n_sc);
     const uint32_t scx = static_cast<uint32_t>(i % cfg.n_sc);
     for (uint32_t b = 0; b < cfg.n_beams; ++b) {
       for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-        h[static_cast<size_t>(b) * cfg.n_ue + l] =
+        ws.h[static_cast<size_t>(b) * cfg.n_ue + l] =
             h_hat[(static_cast<size_t>(scx) * cfg.n_beams + b) * cfg.n_ue + l];
       }
     }
     for (uint32_t b = 0; b < cfg.n_beams; ++b) {
-      y[b] = beams[s][static_cast<size_t>(scx) * cfg.n_beams + b];
+      ws.y[b] = beams.at(s, static_cast<size_t>(scx) * cfg.n_beams + b);
     }
-    const auto x = ref::lmmse(h, y, cfg.n_beams, cfg.n_ue, sigma2_hat);
+    ref::lmmse_into(std::span<const ref::cd>{ws.h.data(),
+                                             static_cast<size_t>(cfg.n_beams) *
+                                                 cfg.n_ue},
+                    std::span<const ref::cd>{ws.y.data(), cfg.n_beams},
+                    cfg.n_beams, cfg.n_ue, sigma2_hat, ws.lmmse,
+                    std::span<ref::cd>{ws.x.data(), cfg.n_ue});
     for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-      const cd eq = x[l] / cfg.ue_power;  // undo tx power scaling
+      const cd eq = ws.x[l] / cfg.ue_power;  // undo tx power scaling
       symbols[l][i] = eq;
       const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
       evm_terms[i * cfg.n_ue + l] = std::norm(eq - want);
@@ -297,71 +302,110 @@ double payload_ber(const Uplink_scenario& sc,
   return static_cast<double>(nerr) / static_cast<double>(nbits);
 }
 
-std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc) {
+void golden_front_into(const Uplink_scenario& sc, common::Ws_grid<cd>& beams,
+                       Front_ws& ws) {
   const auto& cfg = sc.config();
   const double fft_comp = std::sqrt(static_cast<double>(cfg.fft_size));
 
-  // 1) OFDM demodulation + 2) beamforming, per symbol: beam grid [sc][b].
-  std::vector<std::vector<cd>> beams(cfg.n_symb);
-  std::vector<cd> ft(static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
+  // 1) OFDM demodulation + 2) beamforming, per symbol: beam grid row s is
+  // [sc * beam].  Every row is fully written by matmul_rows (which zeroes
+  // its output rows before accumulating), so reuse is safe.
+  beams.shape(cfg.n_symb, static_cast<size_t>(cfg.n_sc) * cfg.n_beams);
+  if (ws.freq.size() < cfg.n_rx) ws.freq.resize(cfg.n_rx);
+  common::ws_grow(ws.ft, static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
   for (uint32_t s = 0; s < cfg.n_symb; ++s) {
-    std::vector<std::vector<cd>> freq(cfg.n_rx);
     for (uint32_t r = 0; r < cfg.n_rx; ++r) {
       // fft() scales by 1/N and the transmitter normalized by 1/sqrt(N), so
       // one sqrt(N) factor restores the frequency-domain grid.
-      freq[r] = ref::fft(sc.antenna_time(s, r));
-      for (auto& v : freq[r]) v *= fft_comp;
+      ref::fft_into(sc.antenna_time(s, r), ws.freq[r]);
+      for (auto& v : ws.freq[r]) v *= fft_comp;
     }
-    beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
-    gather_subcarrier_rows(freq, ft, cfg.n_rx, 0, cfg.n_sc);
-    ref::matmul_rows(ft, sc.codebook(), beams[s], cfg.n_sc, cfg.n_rx,
+    gather_subcarrier_rows(ws.freq, ws.ft, cfg.n_rx, 0, cfg.n_sc);
+    ref::matmul_rows(ws.ft, sc.codebook(), beams.row(s), cfg.n_sc, cfg.n_rx,
                      cfg.n_beams, 0, cfg.n_sc);
   }
-  return beams;
 }
 
-Receiver_result golden_back(const Uplink_scenario& sc,
-                            const std::vector<std::vector<cd>>& beams) {
+void golden_back_into(const Uplink_scenario& sc,
+                      const common::Ws_grid<cd>& beams, Back_ws& ws,
+                      std::vector<std::vector<uint8_t>>& bits,
+                      std::vector<std::vector<cd>>& symbols, double& evm,
+                      double& ber, double& sigma2_hat) {
   const auto& cfg = sc.config();
   const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
 
   // 3) Channel estimation (block LS on code-separated pilot observations).
-  std::vector<std::vector<cd>> obs(cfg.n_ue);
-  for (uint32_t l = 0; l < cfg.n_ue; ++l) obs[l] = sc.pilot_obs_beam(l);
-  std::vector<cd> h_hat(static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue);
-  che_rows(sc, obs, h_hat, 0, static_cast<uint64_t>(cfg.n_ue) * cfg.n_sc);
-  const auto h_true = sc.beam_channel();
-  double ch_err = 0.0;
-  for (size_t i = 0; i < h_hat.size(); ++i) ch_err += std::norm(h_hat[i] - h_true[i]);
-  const double channel_mse = ch_err / static_cast<double>(h_hat.size());
+  common::ws_grow(ws.h_hat,
+                  static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue);
+  che_rows(sc, ws.h_hat, 0, static_cast<uint64_t>(cfg.n_ue) * cfg.n_sc);
 
   // 4) Noise estimation from the pilot symbols (terms summed in index
   // order, which is the (symbol, sub-carrier, beam) walk).
-  std::vector<double> sig_terms(static_cast<uint64_t>(cfg.n_pilot_symb) *
-                                cfg.n_sc * cfg.n_beams);
-  ne_terms(sc, beams, h_hat, sig_terms,
-           0, static_cast<uint64_t>(cfg.n_pilot_symb) * cfg.n_sc);
-  const double sigma2_hat = mean_of_terms(sig_terms);
+  common::ws_grow(ws.sig_terms, static_cast<uint64_t>(cfg.n_pilot_symb) *
+                                    cfg.n_sc * cfg.n_beams);
+  ne_terms(sc, beams, ws.h_hat, ws.sig_terms, 0,
+           static_cast<uint64_t>(cfg.n_pilot_symb) * cfg.n_sc);
+  sigma2_hat = mean_of_terms(ws.sig_terms);
 
   // 5) MIMO LMMSE per sub-carrier and data symbol (Cholesky + solves); EVM
   // terms summed in index order = the (symbol, sub-carrier, UE) walk.
-  Receiver_result res;
+  // Result storage is sized exactly (consumers read .size()); inner
+  // capacity survives across slots of stable shape.
   const uint64_t n_items = static_cast<uint64_t>(n_data) * cfg.n_sc;
-  res.symbols.assign(cfg.n_ue, std::vector<cd>(n_items));
-  res.bits.resize(cfg.n_ue);
-  std::vector<double> evm_terms(n_items * cfg.n_ue);
-  mimo_items(sc, beams, h_hat, sigma2_hat, res.symbols, evm_terms, 0, n_items);
-  res.evm = evm_from_terms(evm_terms);
+  symbols.resize(cfg.n_ue);
+  for (auto& s : symbols) common::ws_grow(s, n_items);
+  bits.resize(cfg.n_ue);
+  common::ws_grow(ws.evm_terms, n_items * cfg.n_ue);
+  mimo_items(sc, beams, ws.h_hat, sigma2_hat, symbols, ws.evm_terms, ws.mimo,
+             0, n_items);
+  evm = evm_from_terms(ws.evm_terms);
 
   // 6) Demodulate and count bit errors.  tx bits are ordered
   // [data_symbol][sc]; symbols are indexed in the same order, so the direct
   // compare inside payload_ber is valid.
   for (uint32_t l = 0; l < cfg.n_ue; ++l) {
-    res.bits[l] = qam_demodulate(cfg.qam, res.symbols[l]);
+    qam_demodulate_into(cfg.qam, symbols[l], bits[l]);
   }
-  res.ber = payload_ber(sc, res.bits);
-  res.channel_mse = channel_mse;
-  res.sigma2_hat = sigma2_hat;
+  ber = payload_ber(sc, bits);
+}
+
+double golden_channel_mse(const Uplink_scenario& sc,
+                          const std::vector<cd>& h_hat) {
+  const auto h_true = sc.beam_channel();
+  PP_CHECK(h_hat.size() == h_true.size(), "channel estimate shape mismatch");
+  double ch_err = 0.0;
+  for (size_t i = 0; i < h_hat.size(); ++i) {
+    ch_err += std::norm(h_hat[i] - h_true[i]);
+  }
+  return ch_err / static_cast<double>(h_hat.size());
+}
+
+std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc) {
+  common::Ws_grid<cd> beams;
+  Front_ws ws;
+  golden_front_into(sc, beams, ws);
+  std::vector<std::vector<cd>> out(beams.rows());
+  for (size_t s = 0; s < beams.rows(); ++s) {
+    const auto row = beams.row(s);
+    out[s].assign(row.begin(), row.end());
+  }
+  return out;
+}
+
+Receiver_result golden_back(const Uplink_scenario& sc,
+                            const std::vector<std::vector<cd>>& beams) {
+  const auto& cfg = sc.config();
+  common::Ws_grid<cd> grid(beams.size(),
+                           static_cast<size_t>(cfg.n_sc) * cfg.n_beams);
+  for (size_t s = 0; s < beams.size(); ++s) {
+    PP_CHECK(beams[s].size() == grid.cols(), "beam grid shape mismatch");
+    std::copy(beams[s].begin(), beams[s].end(), grid.row(s).begin());
+  }
+  Back_ws ws;
+  Receiver_result res;
+  golden_back_into(sc, grid, ws, res.bits, res.symbols, res.evm, res.ber,
+                   res.sigma2_hat);
+  res.channel_mse = golden_channel_mse(sc, ws.h_hat);
   return res;
 }
 

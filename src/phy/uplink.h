@@ -12,6 +12,8 @@
 
 #include <vector>
 
+#include "baseline/reference.h"
+#include "common/grid.h"
 #include "common/rng.h"
 #include "phy/channel.h"
 #include "phy/qam.h"
@@ -105,8 +107,10 @@ class Uplink_scenario {
   std::vector<cd> beam_channel() const;
 
   // Ideal code-separated pilot observation of UE l in the beam domain,
-  // [sc][b] (noise included, split evenly across UEs).
-  std::vector<cd> pilot_obs_beam(uint32_t l) const;
+  // [sc][b] (noise included, split evenly across UEs).  A reference into
+  // the scenario's own storage - valid for the scenario's lifetime - so
+  // the per-slot receive chain never copies it.
+  const std::vector<cd>& pilot_obs_beam(uint32_t l) const;
 
  private:
   Uplink_config cfg_;
@@ -132,17 +136,83 @@ struct Receiver_result {
 // Full double-precision lower-PHY receive chain.
 Receiver_result golden_receive(const Uplink_scenario& sc);
 
+// ---- per-slot workspaces --------------------------------------------------
+//
+// Reusable scratch for the golden receiver's two halves.  Buffers grow
+// geometrically (common::ws_grow) and then stabilize, so a worker that
+// keeps one workspace alive across slots reaches a zero-allocation steady
+// state; every buffer is fully overwritten each slot before it is read
+// back (the non-interference rule, docs/DETERMINISM.md §10).
+
+// LMMSE MIMO scratch: the per-item channel submatrix / observation /
+// solution plus the solver's own intermediates.
+struct Mimo_ws {
+  std::vector<cd> h;  // n_beams x n_ue channel slice
+  std::vector<cd> y;  // n_beams observation
+  std::vector<cd> x;  // n_ue LMMSE solution
+  ref::Lmmse_ws lmmse;
+
+  size_t footprint_bytes() const {
+    return (h.capacity() + y.capacity() + x.capacity()) * sizeof(cd) +
+           lmmse.footprint_bytes();
+  }
+};
+
+// Front-half scratch: per-antenna frequency grids (grow-only nested rows -
+// ref::fft_into needs real vectors) and the transposed beamforming input.
+struct Front_ws {
+  std::vector<std::vector<cd>> freq;  // [rx][fft_size], grow-only outer
+  std::vector<cd> ft;                 // n_sc x n_rx transpose gather
+
+  size_t footprint_bytes() const {
+    return common::ws_rows_footprint(freq) + ft.capacity() * sizeof(cd);
+  }
+};
+
+// Back-half scratch: channel estimate, the NE/EVM term arrays and the
+// MIMO solver workspace.
+struct Back_ws {
+  std::vector<cd> h_hat;
+  std::vector<double> sig_terms;
+  std::vector<double> evm_terms;
+  Mimo_ws mimo;
+
+  size_t footprint_bytes() const {
+    return h_hat.capacity() * sizeof(cd) +
+           (sig_terms.capacity() + evm_terms.capacity()) * sizeof(double) +
+           mimo.footprint_bytes();
+  }
+};
+
 // The receive chain split at the beam-grid boundary, for stage-pipelined
 // execution (runtime/scheduler.h overlaps the front half of slot n+1 with
-// the back half of slot n).  golden_receive() is literally
-// golden_back(sc, golden_front(sc)), so the split is bit-identical to the
-// fused chain by construction.
+// the back half of slot n).  golden_receive() runs exactly
+// golden_back_into(sc, golden_front_into(sc)), so the split is
+// bit-identical to the fused chain by construction.
 //
-// Front half: per-symbol OFDM FFT + beamforming -> beam grids
-// [symbol][sc * beam].
-std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc);
+// Front half: per-symbol OFDM FFT + beamforming -> the beam grid, one row
+// per OFDM symbol, row layout [sc * beam].  Scratch lives in ws; the grid
+// is fully overwritten.
+void golden_front_into(const Uplink_scenario& sc, common::Ws_grid<cd>& beams,
+                       Front_ws& ws);
+
 // Back half: CHE, NE, LMMSE MIMO and demodulation on precomputed beam
-// grids.
+// grids, writing straight into caller-owned result storage (capacity
+// reused across slots).  Deliberately does NOT score channel_mse - the
+// backends discard it; use golden_channel_mse when the metric is wanted.
+void golden_back_into(const Uplink_scenario& sc,
+                      const common::Ws_grid<cd>& beams, Back_ws& ws,
+                      std::vector<std::vector<uint8_t>>& bits,
+                      std::vector<std::vector<cd>>& symbols, double& evm,
+                      double& ber, double& sigma2_hat);
+
+// CHE quality vs. the true beam channel, from the estimate golden_back_into
+// left in ws.h_hat (the channel_mse golden_receive reports).
+double golden_channel_mse(const Uplink_scenario& sc,
+                          const std::vector<cd>& h_hat);
+
+// Returning conveniences wrapping the _into forms (tests / one-shot use).
+std::vector<std::vector<cd>> golden_front(const Uplink_scenario& sc);
 Receiver_result golden_back(const Uplink_scenario& sc,
                             const std::vector<std::vector<cd>>& beams);
 
@@ -166,30 +236,29 @@ void gather_subcarrier_rows(const std::vector<std::vector<cd>>& freq,
 
 // Channel estimation: block-LS rows (flattened (UE, sub-carrier) pairs,
 // l = row / n_sc) in [row_begin, row_end) of
-// h_hat[(scx*n_beams + b)*n_ue + l]; obs[l] = sc.pilot_obs_beam(l).
-void che_rows(const Uplink_scenario& sc,
-              const std::vector<std::vector<cd>>& obs, std::vector<cd>& h_hat,
+// h_hat[(scx*n_beams + b)*n_ue + l], from sc.pilot_obs_beam(l).
+void che_rows(const Uplink_scenario& sc, std::vector<cd>& h_hat,
               uint64_t row_begin, uint64_t row_end);
 
 // Noise estimation: pilot-cell residual terms for flattened (pilot symbol,
 // sub-carrier) items in [item_begin, item_end):
-// terms[item*n_beams + b] = |beams[s][scx,b] - sum_l h_hat*pilot_l|^2.
+// terms[item*n_beams + b] = |beams(s, scx*n_beams+b) - sum_l h_hat*pilot_l|^2.
 // The noise estimate is the mean of `terms` summed in index order.
-void ne_terms(const Uplink_scenario& sc,
-              const std::vector<std::vector<cd>>& beams,
+void ne_terms(const Uplink_scenario& sc, const common::Ws_grid<cd>& beams,
               const std::vector<cd>& h_hat, std::vector<double>& terms,
               uint64_t item_begin, uint64_t item_end);
 
-// LMMSE MIMO: per-UE-batch Gram + Cholesky + substitutions (ref::lmmse)
-// for flattened (data symbol, sub-carrier) items in [item_begin, item_end);
-// writes equalized symbols[l][item] and evm_terms[item*n_ue + l].  The EVM
-// is sqrt(mean) of `evm_terms` summed in index order.
-void mimo_items(const Uplink_scenario& sc,
-                const std::vector<std::vector<cd>>& beams,
+// LMMSE MIMO: per-UE-batch Gram + Cholesky + substitutions
+// (ref::lmmse_into on the caller's Mimo_ws) for flattened (data symbol,
+// sub-carrier) items in [item_begin, item_end); writes equalized
+// symbols[l][item] and evm_terms[item*n_ue + l].  The EVM is sqrt(mean) of
+// `evm_terms` summed in index order.  Each parallel tile passes its own
+// Mimo_ws (workers must not share one).
+void mimo_items(const Uplink_scenario& sc, const common::Ws_grid<cd>& beams,
                 const std::vector<cd>& h_hat, double sigma2_hat,
                 std::vector<std::vector<cd>>& symbols,
-                std::vector<double>& evm_terms, uint64_t item_begin,
-                uint64_t item_end);
+                std::vector<double>& evm_terms, Mimo_ws& ws,
+                uint64_t item_begin, uint64_t item_end);
 
 // The serial reductions over the filled term arrays, shared by both paths
 // so the epilogues cannot drift either: index-order mean (the noise

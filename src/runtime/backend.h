@@ -27,15 +27,19 @@
 #include <memory>
 #include <string_view>
 
+#include "common/grid.h"
 #include "runtime/pipeline.h"
 
 namespace pp::runtime {
 
 // Hand-off state between the two halves of a stage-split slot: the
-// beam-domain grids [symbol][sc * beam] after OFDM FFT + beamforming.
-// Produced by Backend::run_front(), consumed by Backend::run_back().
+// beam-domain grid after OFDM FFT + beamforming, one row per OFDM symbol,
+// row layout [sc * beam].  Produced by Backend::run_front_into(), consumed
+// by Backend::run_back_into().  Flat workspace storage: the scheduler's
+// stage pipeline recycles Slot_fronts across slots, so the grid's
+// capacity survives and the steady state allocates nothing.
 struct Slot_front {
-  std::vector<std::vector<phy::cd>> beams;
+  common::Ws_grid<phy::cd> beams;
 };
 
 class Backend {
@@ -46,6 +50,15 @@ class Backend {
   virtual Slot_result run_slot(const Pipeline& p,
                                const phy::Uplink_scenario& sc) = 0;
 
+  // Workspace (_into) slot execution: results land in caller-owned storage
+  // whose capacity is reused across calls.  The host backends implement
+  // this as the primary path (run_slot wraps it); the default forwards to
+  // run_slot for backends whose execution is inherently allocating (the
+  // simulator builds a sim::Machine per slot).  Bit-identical to run_slot
+  // by construction.
+  virtual void run_slot_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                             Slot_result& out);
+
   // Stage-split execution, used by runtime::Slot_scheduler to overlap the
   // front half (FFT + beamforming) of slot n+1 with the back half (CHE, NE,
   // LMMSE MIMO, demodulation) of slot n.  Contract:
@@ -54,19 +67,36 @@ class Backend {
   // launch sequence) keep the default can_split() = false and abort in the
   // split entry points.
   virtual bool can_split() const { return false; }
-  virtual Slot_front run_front(const Pipeline& p,
-                               const phy::Uplink_scenario& sc);
-  virtual Slot_result run_back(const Pipeline& p,
-                               const phy::Uplink_scenario& sc,
-                               Slot_front front);
+  virtual void run_front_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                              Slot_front& out);
+  virtual void run_back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                             const Slot_front& front, Slot_result& out);
+
+  // Returning conveniences over the _into forms (tests / one-shot use).
+  Slot_front run_front(const Pipeline& p, const phy::Uplink_scenario& sc);
+  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
+                       Slot_front front);
+
+  // High-water bytes held by this backend's slot workspaces (0 when the
+  // backend keeps none).  Observability for the growth-then-stable tests;
+  // monotone under the ws_grow discipline.
+  virtual size_t workspace_bytes() const { return 0; }
 };
 
 class Sim_backend final : public Backend {
  public:
+  Sim_backend();
+  ~Sim_backend() override;
   std::string_view name() const override { return "sim"; }
   bool cycle_accurate() const override { return true; }
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  size_t workspace_bytes() const override;
+
+ private:
+  struct Ws;  // marshaling buffers (quantize scratch); sim cores re-run
+              // the slot out of simulated L1, which is per-Machine state
+  std::unique_ptr<Ws> ws_;
 };
 
 class Reference_backend final : public Backend {
@@ -75,11 +105,19 @@ class Reference_backend final : public Backend {
   bool cycle_accurate() const override { return false; }
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  void run_slot_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     Slot_result& out) override;
   bool can_split() const override { return true; }
-  Slot_front run_front(const Pipeline& p,
-                       const phy::Uplink_scenario& sc) override;
-  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
-                       Slot_front front) override;
+  void run_front_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                      Slot_front& out) override;
+  void run_back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     const Slot_front& front, Slot_result& out) override;
+  size_t workspace_bytes() const override;
+
+ private:
+  phy::Front_ws front_ws_;
+  phy::Back_ws back_ws_;
+  common::Ws_grid<phy::cd> beams_;  // fused-path beam grid
 };
 
 // Fills `out.stages` with the per-stage launch counts the sim backend would

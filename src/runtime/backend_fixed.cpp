@@ -7,6 +7,10 @@
 // src/fixed/.  Any change to the sim backend's marshaling must be mirrored
 // here (tests/test_backend_fixed.cpp pins the bit-exact contract across a
 // scenario grid, worker counts and the split/pipelined path).
+//
+// All marshaling staging lives in the backend's slot workspaces
+// (grow-then-stabilize): after the first slot of a shape, a run allocates
+// nothing - the serving benches gate that under PP_COUNT_ALLOCS.
 #include <algorithm>
 #include <cmath>
 
@@ -14,6 +18,7 @@
 #include "fixed/q15_kernels.h"
 #include "fixed/simd.h"
 #include "runtime/backend_fixed.h"
+#include "runtime/workspace.h"
 
 namespace pp::runtime {
 
@@ -22,18 +27,6 @@ namespace {
 using common::cq15;
 using common::Thread_pool;
 using phy::cd;
-
-std::vector<cq15> quantize(const std::vector<cd>& x, double scale) {
-  std::vector<cq15> q(x.size());
-  for (size_t i = 0; i < x.size(); ++i) q[i] = common::to_cq15(x[i] * scale);
-  return q;
-}
-
-std::vector<cd> dequantize(const std::vector<cq15>& q, double scale) {
-  std::vector<cd> x(q.size());
-  for (size_t i = 0; i < q.size(); ++i) x[i] = common::to_cd(q[i]) / scale;
-  return x;
-}
 
 const Stage_spec& require(const Pipeline& p, Stage_role role,
                           const char* what) {
@@ -50,11 +43,33 @@ bool Fixed_backend::simd_active() const {
 
 Slot_result Fixed_backend::run_slot(const Pipeline& p,
                                     const phy::Uplink_scenario& sc) {
-  return run_back(p, sc, run_front(p, sc));
+  Slot_result out;
+  run_slot_into(p, sc, out);
+  return out;
 }
 
-Slot_front Fixed_backend::run_front(const Pipeline& p,
-                                    const phy::Uplink_scenario& sc) {
+void Fixed_backend::run_slot_into(const Pipeline& p,
+                                  const phy::Uplink_scenario& sc,
+                                  Slot_result& out) {
+  front_into(p, sc, beams_);
+  back_into(p, sc, beams_, out);
+}
+
+void Fixed_backend::run_front_into(const Pipeline& p,
+                                   const phy::Uplink_scenario& sc,
+                                   Slot_front& out) {
+  front_into(p, sc, out.beams);
+}
+
+void Fixed_backend::run_back_into(const Pipeline& p,
+                                  const phy::Uplink_scenario& sc,
+                                  const Slot_front& front, Slot_result& out) {
+  back_into(p, sc, front.beams, out);
+}
+
+void Fixed_backend::front_into(const Pipeline& p,
+                               const phy::Uplink_scenario& sc,
+                               common::Ws_grid<phy::cd>& beams) {
   const auto& cfg = sc.config();
   PP_CHECK(cfg.n_sc == cfg.fft_size,
            "fixed backend assumes all FFT bins are active sub-carriers");
@@ -73,20 +88,13 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
   const uint32_t workers = pool_.workers();
 
   // Quantized beamforming codebook (n_rx x n_beams), reused every symbol.
-  std::vector<cq15> bq(sc.codebook().size());
-  for (size_t i = 0; i < bq.size(); ++i) {
-    bq[i] = common::to_cq15(sc.codebook()[i]);
-  }
+  quantize_into(sc.codebook(), 1.0, bq_);
 
-  // Frequency grids per (symbol, antenna) in true (unscaled) units.
-  std::vector<std::vector<std::vector<cd>>> freq(cfg.n_symb);
-  for (auto& fs : freq) {
-    fs.resize(cfg.n_rx);
-    for (auto& fr : fs) fr.resize(n);
-  }
-  Slot_front front;
-  front.beams.resize(cfg.n_symb);
-  for (auto& b : front.beams) b.resize(static_cast<size_t>(n) * cfg.n_beams);
+  // Frequency grids per (symbol, antenna) in true (unscaled) units: row
+  // s * n_rx + r of the workspace grid.  Every row is fully written by the
+  // FFT phase before the MMM phase reads it (barrier in between).
+  freq_.shape(static_cast<size_t>(cfg.n_symb) * cfg.n_rx, n);
+  beams.shape(cfg.n_symb, static_cast<size_t>(n) * cfg.n_beams);
 
   const uint64_t n_fft = static_cast<uint64_t>(cfg.n_symb) * cfg.n_rx;
   common::Counting_barrier bar(workers);
@@ -96,19 +104,24 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
   // codebook, dequantize.  Element-for-element the arithmetic of the sim
   // backend's whole-matrix quantize -> MMM -> dequantize sequence.
   auto mmm_rows_phase = [&](uint32_t w) {
-    std::vector<cq15> aq(cfg.n_rx), crow(cfg.n_beams);
+    std::vector<cq15>& aq = fft_ws_[w].aq;
+    std::vector<cq15>& crow = fft_ws_[w].crow;
+    common::ws_grow(aq, cfg.n_rx);
+    common::ws_grow(crow, cfg.n_beams);
     const auto [r0, r1] =
         Thread_pool::slice(static_cast<uint64_t>(cfg.n_symb) * n, w, workers);
     for (uint64_t item = r0; item < r1; ++item) {
       const uint32_t s = static_cast<uint32_t>(item / n);
       const uint32_t scx = static_cast<uint32_t>(item % n);
       for (uint32_t r = 0; r < cfg.n_rx; ++r) {
-        aq[r] = common::to_cq15(freq[s][r][scx] * s_grid);
+        aq[r] = common::to_cq15(
+            freq_.at(static_cast<size_t>(s) * cfg.n_rx + r, scx) * s_grid);
       }
-      fixed::mmm_rows(aq.data(), bq.data(), crow.data(), cfg.n_rx,
+      fixed::mmm_rows(aq.data(), bq_.data(), crow.data(), cfg.n_rx,
                       cfg.n_beams, 0, 1);
+      std::span<cd> brow = beams.row(s);
       for (uint32_t q = 0; q < cfg.n_beams; ++q) {
-        front.beams[s][static_cast<size_t>(scx) * cfg.n_beams + q] =
+        brow[static_cast<size_t>(scx) * cfg.n_beams + q] =
             common::to_cd(crow[q]) / s_grid;
       }
     }
@@ -117,7 +130,10 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
   if (n_fft >= workers) {
     // Enough transforms to hand each worker its own.
     pool_.run([&](uint32_t w) {
-      std::vector<cq15> buf(n), fout(n);
+      std::vector<cq15>& buf = fft_ws_[w].buf;
+      std::vector<cq15>& fout = fft_ws_[w].fout;
+      common::ws_grow(buf, n);
+      common::ws_grow(fout, n);
       const auto [f0, f1] = Thread_pool::slice(n_fft, w, workers);
       for (uint64_t t = f0; t < f1; ++t) {
         const uint32_t s = static_cast<uint32_t>(t / cfg.n_rx);
@@ -127,8 +143,9 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
           buf[i] = common::to_cq15(x[i] * s_time);
         }
         fixed::fft_transform(plan, buf.data(), fout.data(), simd);
+        std::span<cd> frow = freq_.row(t);
         for (uint32_t i = 0; i < n; ++i) {
-          freq[s][r][i] = common::to_cd(fout[i]) / ds;
+          frow[i] = common::to_cd(fout[i]) / ds;
         }
       }
       bar.arrive_and_wait();
@@ -138,7 +155,8 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
     // Cooperative FFT: every transform is tiled across all workers,
     // butterfly ranges per stage with a barrier in between (each stage's
     // butterflies touch disjoint elements).
-    std::vector<cq15> buf(n), fout(n);
+    common::ws_grow(coop_buf_, n);
+    common::ws_grow(coop_fout_, n);
     pool_.run([&](uint32_t w) {
       const auto [e0, e1] = Thread_pool::slice(n, w, workers);
       const auto [g0, g1] = Thread_pool::slice(n / 4, w, workers);
@@ -147,29 +165,30 @@ Slot_front Fixed_backend::run_front(const Pipeline& p,
         const uint32_t r = static_cast<uint32_t>(t % cfg.n_rx);
         const auto& x = sc.antenna_time(s, r);
         for (uint64_t i = e0; i < e1; ++i) {
-          buf[i] = common::to_cq15(x[i] * s_time);
+          coop_buf_[i] = common::to_cq15(x[i] * s_time);
         }
         bar.arrive_and_wait();
         for (uint32_t k = 0; k < plan.geom.stages; ++k) {
-          fixed::fft_stage(plan, k, buf.data(), fout.data(),
+          fixed::fft_stage(plan, k, coop_buf_.data(), coop_fout_.data(),
                            static_cast<uint32_t>(g0),
                            static_cast<uint32_t>(g1), simd);
           bar.arrive_and_wait();
         }
+        std::span<cd> frow = freq_.row(t);
         for (uint64_t i = e0; i < e1; ++i) {
-          freq[s][r][i] = common::to_cd(fout[i]) / ds;
+          frow[i] = common::to_cd(coop_fout_[i]) / ds;
         }
         bar.arrive_and_wait();  // buf/fout are reused by the next transform
       }
       mmm_rows_phase(w);
     });
   }
-  return front;
 }
 
-Slot_result Fixed_backend::run_back(const Pipeline& p,
-                                    const phy::Uplink_scenario& sc,
-                                    Slot_front front) {
+void Fixed_backend::back_into(const Pipeline& p,
+                              const phy::Uplink_scenario& sc,
+                              const common::Ws_grid<phy::cd>& beams,
+                              Slot_result& out) {
   const auto& cfg = sc.config();
   const uint32_t n = cfg.fft_size;
   const uint32_t n_b = cfg.n_beams;
@@ -189,28 +208,28 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
   const uint32_t workers = pool_.workers();
   common::Counting_barrier bar(workers);
 
-  Slot_result out;
   out.backend = "fixed";
   mirror_sim_stage_runs(p, cfg, out);
 
   // ---- channel estimation on the pilot symbols ------------------------
-  std::vector<std::vector<cq15>> pilots_q(n_l), y_sep_q(n_l);
+  if (pilots_q_.size() < n_l) pilots_q_.resize(n_l);  // grow-only outers
+  if (y_sep_q_.size() < n_l) y_sep_q_.resize(n_l);
   for (uint32_t l = 0; l < n_l; ++l) {
-    pilots_q[l] = quantize(sc.pilot(l), 1.0);
-    y_sep_q[l] = quantize(sc.pilot_obs_beam(l), s_che);
+    quantize_into(sc.pilot(l), 1.0, pilots_q_[l]);
+    quantize_into(sc.pilot_obs_beam(l), s_che, y_sep_q_[l]);
   }
   const size_t h_elems = static_cast<size_t>(n) * n_b * n_l;
-  std::vector<cq15> h_q(h_elems);
-  std::vector<cd> h_hat(h_elems);  // [sc][b][l]
+  common::ws_grow(h_q_, h_elems);
+  common::ws_grow(h_hat_, h_elems);  // [sc][b][l]
   pool_.run([&](uint32_t w) {
     const auto [lo, hi] = Thread_pool::slice(n, w, workers);
-    fixed::che_subcarriers(y_sep_q, pilots_q, h_q.data(), n_b, n_l,
+    fixed::che_subcarriers(y_sep_q_, pilots_q_, h_q_.data(), n_b, n_l,
                            static_cast<uint32_t>(lo),
                            static_cast<uint32_t>(hi), simd);
     bar.arrive_and_wait();
     const auto [e0, e1] = Thread_pool::slice(h_elems, w, workers);
     for (size_t i = e0; i < e1; ++i) {
-      h_hat[i] = common::to_cd(h_q[i]) / s_che;
+      h_hat_[i] = common::to_cd(h_q_[i]) / s_che;
     }
   });
 
@@ -218,21 +237,21 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
   // The sim NE folds one uint32 contribution per core block, so the
   // estimate depends on the *simulated* partition: replay exactly that
   // many blocks regardless of the host worker count.
-  const std::vector<cq15> y_est = quantize(front.beams[0], s_est);
-  const std::vector<cq15> h_est = quantize(h_hat, s_est);
+  quantize_into(beams.row(0), s_est, y_est_);
+  quantize_into(h_hat_, s_est, h_est_);
   uint32_t ne_cores = ne_spec.run.params.getu("cores", 0);
   if (ne_cores == 0) ne_cores = p.cluster().n_cores();
-  std::vector<uint32_t> contribs(ne_cores);
+  common::ws_grow(contribs_, ne_cores);
   pool_.parallel_for(ne_cores, [&](uint64_t idx) {
     const fixed::Sc_block blk =
         fixed::sc_block(n, ne_cores, static_cast<uint32_t>(idx));
     const int64_t partial = fixed::ne_partial(
-        y_est.data(), h_est.data(), pilots_q, n_b, n_l, blk.lo, blk.hi);
-    contribs[idx] = static_cast<uint32_t>(
+        y_est_.data(), h_est_.data(), pilots_q_, n_b, n_l, blk.lo, blk.hi);
+    contribs_[idx] = static_cast<uint32_t>(
         std::max<int64_t>(0, partial >> common::q15_frac_bits));
   });
   uint32_t raw = 0;  // wraps mod 2^32 like the simulated amo_add word
-  for (const uint32_t c : contribs) raw += c;
+  for (uint32_t i = 0; i < ne_cores; ++i) raw += contribs_[i];
   const double count = static_cast<double>(n) * n_b;
   const double sigma2_hat =
       static_cast<double>(raw) /
@@ -241,21 +260,29 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
   out.sigma2_hat = sigma2_hat;
 
   // ---- MIMO per data symbol: G = H^H H + sigma2 I, Cholesky, solves ----
-  const std::vector<cq15> gh_q = quantize(h_hat, 1.0);
+  quantize_into(h_hat_, 1.0, gh_q_);
   const cq15 sigma{common::to_q15(sigma2_hat), 0};
   const uint32_t batch = mimo_spec.run.params.getu("symb_batch", 1);
+  const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
   out.bits.resize(n_l);
-  std::vector<std::vector<cd>> eq(n_l);  // equalized symbols
+  out.symbols.resize(n_l);  // equalized symbols, indexed (data symbol, sc)
+  for (auto& eq : out.symbols) {
+    common::ws_grow(eq, static_cast<size_t>(n_data) * n);
+  }
   double evm_acc = 0.0;
   uint64_t evm_cnt = 0;
 
-  std::vector<std::vector<cq15>> y_q(batch), g_syms(batch), rhs_syms(batch);
-  std::vector<cq15> xs(static_cast<size_t>(batch) * n * n_l);
+  if (y_q_.size() < batch) y_q_.resize(batch);  // grow-only outers
+  if (g_syms_.size() < batch) g_syms_.resize(batch);
+  if (rhs_syms_.size() < batch) rhs_syms_.resize(batch);
+  common::ws_grow(xs_, static_cast<size_t>(batch) * n * n_l);
   for (uint32_t s0 = cfg.n_pilot_symb; s0 < cfg.n_symb; s0 += batch) {
     for (uint32_t b = 0; b < batch; ++b) {
-      y_q[b] = quantize(front.beams[s0 + b], s_rhs);
-      g_syms[b].assign(static_cast<size_t>(n) * n_l * n_l, cq15{});
-      rhs_syms[b].assign(static_cast<size_t>(n) * n_l, cq15{});
+      quantize_into(beams.row(s0 + b), s_rhs, y_q_[b]);
+      common::ws_grow(g_syms_[b], static_cast<size_t>(n) * n_l * n_l);
+      std::fill(g_syms_[b].begin(), g_syms_[b].end(), cq15{});
+      common::ws_grow(rhs_syms_[b], static_cast<size_t>(n) * n_l);
+      std::fill(rhs_syms_[b].begin(), rhs_syms_[b].end(), cq15{});
     }
     // One (symbol-in-batch, sub-carrier) problem per item: Gramian +
     // matched filter, then Cholesky + both substitutions.  Items are
@@ -264,30 +291,30 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
         static_cast<uint64_t>(batch) * n, [&](uint64_t item) {
           const uint32_t b = static_cast<uint32_t>(item / n);
           const uint32_t scx = static_cast<uint32_t>(item % n);
-          fixed::gram_subcarriers(gh_q.data(), y_q[b].data(), sigma,
-                                  g_syms[b].data(), rhs_syms[b].data(), n_b,
+          fixed::gram_subcarriers(gh_q_.data(), y_q_[b].data(), sigma,
+                                  g_syms_[b].data(), rhs_syms_[b].data(), n_b,
                                   n_l, scx, scx + 1);
           cq15 lmat[64];
           fixed::cholesky(
-              g_syms[b].data() + static_cast<size_t>(scx) * n_l * n_l, lmat,
+              g_syms_[b].data() + static_cast<size_t>(scx) * n_l * n_l, lmat,
               n_l);
           fixed::trisolve(lmat,
-                          rhs_syms[b].data() + static_cast<size_t>(scx) * n_l,
-                          xs.data() + item * n_l, n_l);
+                          rhs_syms_[b].data() + static_cast<size_t>(scx) * n_l,
+                          xs_.data() + item * n_l, n_l);
         });
 
     // Serial epilogue in the sim backend's exact loop order (the EVM sum
-    // is a float reduction; order is part of the contract).
+    // is a float reduction; order is part of the contract).  Equalized
+    // symbols land at their (data symbol, sub-carrier) index.
     for (uint32_t b = 0; b < batch; ++b) {
       const uint32_t s = s0 + b;
       for (uint32_t scx = 0; scx < n; ++scx) {
-        const std::vector<cq15> xq(
-            xs.begin() + (static_cast<size_t>(b) * n + scx) * n_l,
-            xs.begin() + (static_cast<size_t>(b) * n + scx + 1) * n_l);
-        const auto x = dequantize(xq, s_rhs);
+        dequantize_into(xs_.data() + (static_cast<size_t>(b) * n + scx) * n_l,
+                        n_l, s_rhs, x_);
+        const size_t idx = static_cast<size_t>(s - cfg.n_pilot_symb) * n + scx;
         for (uint32_t l = 0; l < n_l; ++l) {
-          const cd sym = x[l] / cfg.ue_power;
-          eq[l].push_back(sym);
+          const cd sym = x_[l] / cfg.ue_power;
+          out.symbols[l][idx] = sym;
           const cd want = sc.tx_grid(l, s)[scx] / cfg.ue_power;
           evm_acc += std::norm(sym - want);
           ++evm_cnt;
@@ -299,7 +326,7 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
 
   uint64_t nerr = 0, nbits = 0;
   for (uint32_t l = 0; l < n_l; ++l) {
-    out.bits[l] = phy::qam_demodulate(cfg.qam, eq[l]);
+    phy::qam_demodulate_into(cfg.qam, out.symbols[l], out.bits[l]);
     const auto& want = sc.tx_bits(l);
     PP_CHECK(want.size() == out.bits[l].size(), "payload size mismatch");
     for (size_t i = 0; i < want.size(); ++i) {
@@ -308,8 +335,22 @@ Slot_result Fixed_backend::run_back(const Pipeline& p,
     }
   }
   out.ber = static_cast<double>(nerr) / static_cast<double>(nbits);
-  out.symbols = std::move(eq);
-  return out;
+}
+
+size_t Fixed_backend::workspace_bytes() const {
+  size_t b = (coop_buf_.capacity() + coop_fout_.capacity() + bq_.capacity() +
+              h_q_.capacity() + y_est_.capacity() + h_est_.capacity() +
+              gh_q_.capacity() + xs_.capacity()) *
+                 sizeof(cq15) +
+             freq_.footprint_bytes() + beams_.footprint_bytes() +
+             (h_hat_.capacity() + x_.capacity()) * sizeof(cd) +
+             contribs_.capacity() * sizeof(uint32_t);
+  for (const auto& ws : fft_ws_) b += ws.footprint_bytes();
+  b += common::ws_rows_footprint(pilots_q_) +
+       common::ws_rows_footprint(y_sep_q_) + common::ws_rows_footprint(y_q_) +
+       common::ws_rows_footprint(g_syms_) +
+       common::ws_rows_footprint(rhs_syms_);
+  return b;
 }
 
 }  // namespace pp::runtime

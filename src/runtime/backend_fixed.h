@@ -33,6 +33,7 @@
 #ifndef PUSCHPOOL_RUNTIME_BACKEND_FIXED_H
 #define PUSCHPOOL_RUNTIME_BACKEND_FIXED_H
 
+#include "common/complex16.h"
 #include "common/thread_pool.h"
 #include "runtime/backend.h"
 
@@ -42,7 +43,7 @@ class Fixed_backend final : public Backend {
  public:
   // workers: 0 = one per hardware thread (the pool persists across slots).
   explicit Fixed_backend(uint32_t workers = 0, bool use_simd = true)
-      : pool_(workers), simd_(use_simd) {}
+      : pool_(workers), simd_(use_simd), fft_ws_(pool_.workers()) {}
 
   std::string_view name() const override { return "fixed"; }
   bool cycle_accurate() const override { return false; }
@@ -53,18 +54,56 @@ class Fixed_backend final : public Backend {
 
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  void run_slot_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     Slot_result& out) override;
   // Stage-split entry points (scheduler stage pipelining), cut at the beam
   // grid like the other host backends: run_back(run_front()) is
   // bit-identical to run_slot().
   bool can_split() const override { return true; }
-  Slot_front run_front(const Pipeline& p,
-                       const phy::Uplink_scenario& sc) override;
-  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
-                       Slot_front front) override;
+  void run_front_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                      Slot_front& out) override;
+  void run_back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     const Slot_front& front, Slot_result& out) override;
+  size_t workspace_bytes() const override;
 
  private:
+  void front_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                  common::Ws_grid<phy::cd>& beams);
+  void back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                 const common::Ws_grid<phy::cd>& beams, Slot_result& out);
+
   common::Thread_pool pool_;
   bool simd_;
+
+  // Per-worker marshaling scratch (FFT staging buffers + one quantized MMM
+  // input/output row); workers touch only their own entry inside a
+  // dispatch, so no synchronization beyond the pool's join is needed.
+  struct Worker_ws {
+    std::vector<common::cq15> buf, fout, aq, crow;
+    size_t footprint_bytes() const {
+      return (buf.capacity() + fout.capacity() + aq.capacity() +
+              crow.capacity()) *
+             sizeof(common::cq15);
+    }
+  };
+
+  // Slot workspaces (grow-then-stabilize; every reused element either fully
+  // overwritten per slot or explicitly cleared before the kernels run).
+  std::vector<Worker_ws> fft_ws_;            // one per worker
+  std::vector<common::cq15> coop_buf_, coop_fout_;  // cooperative-FFT shared
+  std::vector<common::cq15> bq_;             // quantized codebook
+  common::Ws_grid<phy::cd> freq_;            // [symb * rx][sc] spectra
+  common::Ws_grid<phy::cd> beams_;           // fused-path beam grid
+  // Back half: CHE inputs/outputs, NE operands, MIMO batch staging.
+  std::vector<std::vector<common::cq15>> pilots_q_, y_sep_q_;  // grow-only
+  std::vector<common::cq15> h_q_;
+  std::vector<phy::cd> h_hat_;
+  std::vector<common::cq15> y_est_, h_est_;
+  std::vector<uint32_t> contribs_;
+  std::vector<common::cq15> gh_q_;
+  std::vector<std::vector<common::cq15>> y_q_, g_syms_, rhs_syms_;  // per batch
+  std::vector<common::cq15> xs_;
+  std::vector<phy::cd> x_;  // epilogue per-sub-carrier dequantize
 };
 
 }  // namespace pp::runtime

@@ -40,13 +40,13 @@ void run_fft_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
 
   if (cfg.n_rx >= workers) {
     // Per-antenna fan-out: each worker owns whole transforms, running the
-    // exact serial-receiver sequence (ref::fft, then the compensation
-    // multiply).
+    // exact serial-receiver sequence (ref::fft_into reusing the row's
+    // capacity, then the compensation multiply).
     pool.run([&](uint32_t w) {
       const auto [first, last] = Thread_pool::slice(cfg.n_rx, w, workers);
       for (uint64_t r = first; r < last; ++r) {
         std::vector<cd>& a = freq[r];
-        a = ref::fft(sc.antenna_time(s, static_cast<uint32_t>(r)));
+        ref::fft_into(sc.antenna_time(s, static_cast<uint32_t>(r)), a);
         for (auto& v : a) v *= fft_comp;
       }
     });
@@ -83,7 +83,7 @@ void run_fft_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
 // symbol reuses the buffer.
 void run_beamform_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
                          const std::vector<std::vector<cd>>& freq,
-                         std::vector<cd>& ft, std::vector<cd>& beams_s) {
+                         std::vector<cd>& ft, std::span<cd> beams_s) {
   const auto& cfg = sc.config();
   const uint32_t workers = pool.workers();
   pool.run([&](uint32_t w) {
@@ -95,19 +95,18 @@ void run_beamform_symbol(Thread_pool& pool, const phy::Uplink_scenario& sc,
 }
 
 // Channel-estimation stage: per-(UE, sub-carrier) row tiles of
-// phy::che_rows.
+// phy::che_rows (every row of h_hat is written, so the reused buffer
+// needs no clearing).
 void run_che_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
                    std::vector<cd>& h_hat) {
   const auto& cfg = sc.config();
-  h_hat.assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue,
-               cd{0, 0});
-  std::vector<std::vector<cd>> obs(cfg.n_ue);
-  for (uint32_t l = 0; l < cfg.n_ue; ++l) obs[l] = sc.pilot_obs_beam(l);
+  common::ws_grow(h_hat,
+                  static_cast<size_t>(cfg.n_sc) * cfg.n_beams * cfg.n_ue);
 
   const uint64_t n_rows = static_cast<uint64_t>(cfg.n_ue) * cfg.n_sc;
   pool.run([&](uint32_t w) {
     const auto [first, last] = Thread_pool::slice(n_rows, w, pool.workers());
-    phy::che_rows(sc, obs, h_hat, first, last);
+    phy::che_rows(sc, h_hat, first, last);
   });
 }
 
@@ -115,11 +114,12 @@ void run_che_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
 // in parallel, summed serially in (symbol, sub-carrier, beam) order so the
 // estimate is bit-identical to the serial accumulation.
 double run_ne_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
-                    const std::vector<std::vector<cd>>& beams,
-                    const std::vector<cd>& h_hat) {
+                    const common::Ws_grid<cd>& beams,
+                    const std::vector<cd>& h_hat,
+                    std::vector<double>& terms) {
   const auto& cfg = sc.config();
   const uint64_t n_items = static_cast<uint64_t>(cfg.n_pilot_symb) * cfg.n_sc;
-  std::vector<double> terms(n_items * cfg.n_beams);
+  common::ws_grow(terms, n_items * cfg.n_beams);
   pool.run([&](uint32_t w) {
     const auto [first, last] = Thread_pool::slice(n_items, w, pool.workers());
     phy::ne_terms(sc, beams, h_hat, terms, first, last);
@@ -129,25 +129,27 @@ double run_ne_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
 
 // MIMO stage: per-UE-batch LMMSE - each (data symbol, sub-carrier) item is
 // one Gram + Cholesky + forward/backward substitution problem
-// (phy::mimo_items -> ref::lmmse), items statically sliced across workers.
-// Equalized symbols land at their slot index; the EVM reduction happens
-// serially afterwards.
+// (phy::mimo_items -> ref::lmmse_into on the worker's private Mimo_ws),
+// items statically sliced across workers.  Equalized symbols land at their
+// slot index; the EVM reduction happens serially afterwards.
 void run_mimo_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
-                    const std::vector<std::vector<cd>>& beams,
+                    const common::Ws_grid<cd>& beams,
                     const std::vector<cd>& h_hat, double sigma2_hat,
                     std::vector<std::vector<cd>>& symbols,
-                    std::vector<double>& evm_terms) {
+                    std::vector<double>& evm_terms,
+                    std::vector<phy::Mimo_ws>& mimo_ws) {
   const auto& cfg = sc.config();
   const uint32_t n_data = cfg.n_symb - cfg.n_pilot_symb;
   const uint64_t n_items = static_cast<uint64_t>(n_data) * cfg.n_sc;
 
-  symbols.assign(cfg.n_ue, std::vector<cd>(n_items));
-  evm_terms.assign(n_items * cfg.n_ue, 0.0);
+  symbols.resize(cfg.n_ue);
+  for (auto& s : symbols) common::ws_grow(s, n_items);
+  common::ws_grow(evm_terms, n_items * cfg.n_ue);
 
   pool.run([&](uint32_t w) {
     const auto [first, last] = Thread_pool::slice(n_items, w, pool.workers());
-    phy::mimo_items(sc, beams, h_hat, sigma2_hat, symbols, evm_terms, first,
-                    last);
+    phy::mimo_items(sc, beams, h_hat, sigma2_hat, symbols, evm_terms,
+                    mimo_ws[w], first, last);
   });
 }
 
@@ -155,57 +157,81 @@ void run_mimo_stage(Thread_pool& pool, const phy::Uplink_scenario& sc,
 
 Slot_result Parallel_backend::run_slot(const Pipeline& p,
                                        const phy::Uplink_scenario& sc) {
-  return run_back(p, sc, run_front(p, sc));
+  Slot_result out;
+  run_slot_into(p, sc, out);
+  return out;
 }
 
-Slot_front Parallel_backend::run_front(const Pipeline&,
-                                       const phy::Uplink_scenario& sc) {
+void Parallel_backend::run_slot_into(const Pipeline& p,
+                                     const phy::Uplink_scenario& sc,
+                                     Slot_result& out) {
+  front_into(sc, beams_);
+  back_into(p, sc, beams_, out);
+}
+
+void Parallel_backend::run_front_into(const Pipeline&,
+                                      const phy::Uplink_scenario& sc,
+                                      Slot_front& out) {
+  front_into(sc, out.beams);
+}
+
+void Parallel_backend::run_back_into(const Pipeline& p,
+                                     const phy::Uplink_scenario& sc,
+                                     const Slot_front& front,
+                                     Slot_result& out) {
+  back_into(p, sc, front.beams, out);
+}
+
+void Parallel_backend::front_into(const phy::Uplink_scenario& sc,
+                                  common::Ws_grid<phy::cd>& beams) {
   const auto& cfg = sc.config();
 
   // 1) OFDM demodulation + 2) beamforming, fused per symbol (the serial
   // receiver's memory footprint: one symbol's spectra live at a time).
-  Slot_front front;
-  auto& beams = front.beams;  // [symb][sc * beam]
-  beams.resize(cfg.n_symb);
-  std::vector<std::vector<cd>> freq(cfg.n_rx);  // reused per symbol
-  std::vector<cd> ft(static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
+  // Every beam row is fully written by matmul_rows over the workers'
+  // disjoint row tiles.
+  beams.shape(cfg.n_symb, static_cast<size_t>(cfg.n_sc) * cfg.n_beams);
+  if (freq_.size() < cfg.n_rx) freq_.resize(cfg.n_rx);
+  common::ws_grow(ft_, static_cast<size_t>(cfg.n_sc) * cfg.n_rx);
   for (uint32_t s = 0; s < cfg.n_symb; ++s) {
-    run_fft_symbol(pool_, sc, s, freq);
-    beams[s].assign(static_cast<size_t>(cfg.n_sc) * cfg.n_beams, cd{0, 0});
-    run_beamform_symbol(pool_, sc, freq, ft, beams[s]);
+    run_fft_symbol(pool_, sc, s, freq_);
+    run_beamform_symbol(pool_, sc, freq_, ft_, beams.row(s));
   }
-  return front;
 }
 
-Slot_result Parallel_backend::run_back(const Pipeline& p,
-                                       const phy::Uplink_scenario& sc,
-                                       Slot_front front) {
+void Parallel_backend::back_into(const Pipeline& p,
+                                 const phy::Uplink_scenario& sc,
+                                 const common::Ws_grid<phy::cd>& beams,
+                                 Slot_result& out) {
   const auto& cfg = sc.config();
-  const auto& beams = front.beams;
 
   // 3) Channel estimation + 4) noise estimation.
-  std::vector<cd> h_hat;
-  run_che_stage(pool_, sc, h_hat);
-  const double sigma2_hat = run_ne_stage(pool_, sc, beams, h_hat);
+  run_che_stage(pool_, sc, h_hat_);
+  const double sigma2_hat = run_ne_stage(pool_, sc, beams, h_hat_, sig_terms_);
 
-  // 5) MIMO LMMSE + EVM against the transmitted constellation.
-  std::vector<std::vector<cd>> symbols;
-  std::vector<double> evm_terms;
-  run_mimo_stage(pool_, sc, beams, h_hat, sigma2_hat, symbols, evm_terms);
+  // 5) MIMO LMMSE + EVM against the transmitted constellation, straight
+  // into the caller's result storage.
+  run_mimo_stage(pool_, sc, beams, h_hat_, sigma2_hat, out.symbols,
+                 evm_terms_, mimo_ws_);
 
   // 6) Demodulation (parallel per UE) + the shared serial epilogue.
-  Slot_result out;
   out.backend = "parallel";
   out.bits.resize(cfg.n_ue);
   pool_.parallel_for(cfg.n_ue, [&](uint64_t l) {
-    out.bits[l] = phy::qam_demodulate(cfg.qam, symbols[l]);
+    phy::qam_demodulate_into(cfg.qam, out.symbols[l], out.bits[l]);
   });
-  out.evm = phy::evm_from_terms(evm_terms);
+  out.evm = phy::evm_from_terms(evm_terms_);
   out.ber = phy::payload_ber(sc, out.bits);
   out.sigma2_hat = sigma2_hat;
-  out.symbols = std::move(symbols);
   mirror_sim_stage_runs(p, cfg, out);
-  return out;
+}
+
+size_t Parallel_backend::workspace_bytes() const {
+  size_t b = common::ws_rows_footprint(freq_) + ft_.capacity() * sizeof(cd) +
+             beams_.footprint_bytes() + h_hat_.capacity() * sizeof(cd) +
+             (sig_terms_.capacity() + evm_terms_.capacity()) * sizeof(double);
+  for (const auto& ws : mimo_ws_) b += ws.footprint_bytes();
+  return b;
 }
 
 }  // namespace pp::runtime

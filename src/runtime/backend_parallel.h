@@ -34,7 +34,8 @@ class Parallel_backend final : public Backend {
  public:
   // 0 = one worker per hardware thread.  The pool persists across
   // run_slot() calls, so per-slot dispatch cost stays at one wake-up.
-  explicit Parallel_backend(uint32_t workers = 0) : pool_(workers) {}
+  explicit Parallel_backend(uint32_t workers = 0)
+      : pool_(workers), mimo_ws_(pool_.workers()) {}
 
   std::string_view name() const override { return "parallel"; }
   bool cycle_accurate() const override { return false; }
@@ -42,17 +43,38 @@ class Parallel_backend final : public Backend {
 
   Slot_result run_slot(const Pipeline& p,
                        const phy::Uplink_scenario& sc) override;
+  void run_slot_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     Slot_result& out) override;
   // Stage-split entry points (scheduler stage pipelining): the same code
   // paths as run_slot(), cut at the beam-grid boundary, so
   // run_back(run_front()) stays bit-identical to run_slot().
   bool can_split() const override { return true; }
-  Slot_front run_front(const Pipeline& p,
-                       const phy::Uplink_scenario& sc) override;
-  Slot_result run_back(const Pipeline& p, const phy::Uplink_scenario& sc,
-                       Slot_front front) override;
+  void run_front_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                      Slot_front& out) override;
+  void run_back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                     const Slot_front& front, Slot_result& out) override;
+  size_t workspace_bytes() const override;
 
  private:
+  void front_into(const phy::Uplink_scenario& sc,
+                  common::Ws_grid<phy::cd>& beams);
+  void back_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                 const common::Ws_grid<phy::cd>& beams, Slot_result& out);
+
   common::Thread_pool pool_;
+
+  // Slot workspaces (grow-then-stabilize; every buffer fully overwritten
+  // per slot).  Front half: per-antenna spectra + the beamforming
+  // transpose; back half: channel estimate, NE/EVM term arrays, and one
+  // MIMO solver workspace per pool worker (workers write disjoint item
+  // tiles but each needs private solver scratch).
+  std::vector<std::vector<phy::cd>> freq_;  // grow-only outer
+  std::vector<phy::cd> ft_;
+  common::Ws_grid<phy::cd> beams_;  // fused-path beam grid
+  std::vector<phy::cd> h_hat_;
+  std::vector<double> sig_terms_;
+  std::vector<double> evm_terms_;
+  std::vector<phy::Mimo_ws> mimo_ws_;  // one per worker
 };
 
 }  // namespace pp::runtime

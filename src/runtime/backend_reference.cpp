@@ -27,6 +27,12 @@ void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
     const auto& spec = p.stages()[i];
     auto& st = out.stages[i];
     st.name = spec.name;
+    // Slot_results are reused across slots by the workspace-checkout
+    // serving loop: clear the counters a host backend never writes so a
+    // recycled result matches a fresh one bit for bit.
+    st.cycles = 0;
+    st.instrs = 0;
+    st.stall.fill(0);
     switch (spec.role) {
       case Stage_role::fft: {
         const uint32_t inst = resolve_fft_gangs(p.cluster(), cfg.fft_size,
@@ -62,28 +68,42 @@ void mirror_sim_stage_runs(const Pipeline& p, const phy::Uplink_config& cfg,
 
 Slot_result Reference_backend::run_slot(const Pipeline& p,
                                         const phy::Uplink_scenario& sc) {
-  return run_back(p, sc, run_front(p, sc));
-}
-
-Slot_front Reference_backend::run_front(const Pipeline&,
-                                        const phy::Uplink_scenario& sc) {
-  return Slot_front{phy::golden_front(sc)};
-}
-
-Slot_result Reference_backend::run_back(const Pipeline& p,
-                                        const phy::Uplink_scenario& sc,
-                                        Slot_front front) {
-  auto golden = phy::golden_back(sc, front.beams);
-
   Slot_result out;
-  out.backend = "reference";
-  out.bits = golden.bits;
-  out.symbols = std::move(golden.symbols);
-  out.evm = golden.evm;
-  out.ber = golden.ber;
-  out.sigma2_hat = golden.sigma2_hat;
-  mirror_sim_stage_runs(p, sc.config(), out);
+  run_slot_into(p, sc, out);
   return out;
+}
+
+void Reference_backend::run_slot_into(const Pipeline& p,
+                                      const phy::Uplink_scenario& sc,
+                                      Slot_result& out) {
+  // Fused path through the backend-owned workspaces: front half into the
+  // member beam grid, back half straight into the caller's result.
+  phy::golden_front_into(sc, beams_, front_ws_);
+  out.backend = "reference";
+  phy::golden_back_into(sc, beams_, back_ws_, out.bits, out.symbols, out.evm,
+                        out.ber, out.sigma2_hat);
+  mirror_sim_stage_runs(p, sc.config(), out);
+}
+
+void Reference_backend::run_front_into(const Pipeline&,
+                                       const phy::Uplink_scenario& sc,
+                                       Slot_front& out) {
+  phy::golden_front_into(sc, out.beams, front_ws_);
+}
+
+void Reference_backend::run_back_into(const Pipeline& p,
+                                      const phy::Uplink_scenario& sc,
+                                      const Slot_front& front,
+                                      Slot_result& out) {
+  out.backend = "reference";
+  phy::golden_back_into(sc, front.beams, back_ws_, out.bits, out.symbols,
+                        out.evm, out.ber, out.sigma2_hat);
+  mirror_sim_stage_runs(p, sc.config(), out);
+}
+
+size_t Reference_backend::workspace_bytes() const {
+  return front_ws_.footprint_bytes() + back_ws_.footprint_bytes() +
+         beams_.footprint_bytes();
 }
 
 }  // namespace pp::runtime

@@ -192,6 +192,11 @@ Slot_result Pipeline::execute(const phy::Uplink_scenario& sc,
   return backend.run_slot(*this, sc);
 }
 
+void Pipeline::execute_into(const phy::Uplink_scenario& sc, Backend& backend,
+                            Slot_result& out) const {
+  backend.run_slot_into(*this, sc, out);
+}
+
 uint32_t resolve_fft_gangs(const arch::Cluster_config& cluster,
                            uint32_t fft_size, const Params& params,
                            uint32_t max_inst) {
@@ -218,15 +223,34 @@ std::vector<std::string> backend_names() {
   return {"sim", "reference", "parallel", "fixed"};
 }
 
-Slot_front Backend::run_front(const Pipeline&, const phy::Uplink_scenario&) {
-  PP_CHECK(false, "backend does not support stage-split execution");
-  return {};
+void Backend::run_slot_into(const Pipeline& p, const phy::Uplink_scenario& sc,
+                            Slot_result& out) {
+  out = run_slot(p, sc);
 }
 
-Slot_result Backend::run_back(const Pipeline&, const phy::Uplink_scenario&,
-                              Slot_front) {
+void Backend::run_front_into(const Pipeline&, const phy::Uplink_scenario&,
+                             Slot_front&) {
   PP_CHECK(false, "backend does not support stage-split execution");
-  return {};
+}
+
+void Backend::run_back_into(const Pipeline&, const phy::Uplink_scenario&,
+                            const Slot_front&, Slot_result&) {
+  PP_CHECK(false, "backend does not support stage-split execution");
+}
+
+Slot_front Backend::run_front(const Pipeline& p,
+                              const phy::Uplink_scenario& sc) {
+  Slot_front front;
+  run_front_into(p, sc, front);
+  return front;
+}
+
+Slot_result Backend::run_back(const Pipeline& p,
+                              const phy::Uplink_scenario& sc,
+                              Slot_front front) {
+  Slot_result out;
+  run_back_into(p, sc, front, out);
+  return out;
 }
 
 }  // namespace pp::runtime

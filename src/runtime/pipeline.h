@@ -184,6 +184,12 @@ class Pipeline {
   // Functional slot execution on the given backend.
   Slot_result execute(const phy::Uplink_scenario& sc, Backend& backend) const;
 
+  // execute() into caller-owned result storage (capacity reused across
+  // slots); forwards to Backend::run_slot_into.  Bit-identical to
+  // execute() - the serving loop's zero-allocation entry point.
+  void execute_into(const phy::Uplink_scenario& sc, Backend& backend,
+                    Slot_result& out) const;
+
  private:
   std::string name_;
   arch::Cluster_config cluster_;

@@ -72,6 +72,30 @@ class Front_mailbox {
   bool closed_ = false;
 };
 
+// Recycled Slot_front storage for one front/back thread pair: the back
+// thread returns consumed fronts, so the front thread's next
+// run_front_into() reuses the grown beam grid instead of allocating.  The
+// mailbox is one deep, so at most two fronts are ever in flight per pair;
+// the cap is slack on top of that.
+class Front_pool {
+ public:
+  Slot_front take() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (items_.empty()) return {};
+    Slot_front f = std::move(items_.back());
+    items_.pop_back();
+    return f;
+  }
+  void put(Slot_front f) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (items_.size() < 4) items_.push_back(std::move(f));
+  }
+
+ private:
+  std::mutex m_;
+  std::vector<Slot_front> items_;
+};
+
 }  // namespace
 
 double analytic_service_seconds(const phy::Uplink_config& cfg,
@@ -146,20 +170,41 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
       admit_jobs(jobs, shard_of_group, n_shards, service_units, opt_.cluster,
                  opt_.clock_ghz, aopt);
 
-  std::vector<Slot_result> slots(jobs.size());
+  // Full per-slot results are retained only when someone consumes them:
+  // the caller (keep_slots) or the HARQ combiner (max_harq > 0).  Otherwise
+  // the serving loop runs in summary mode - each worker equalizes into one
+  // private reusable Slot_result and records only the per-slot scalars the
+  // aggregation below needs, so the steady state allocates nothing.
+  const bool retain = opt_.keep_slots || opt_.max_harq > 0;
+  struct Slot_stats {
+    double evm = 0.0;
+    double ber = 0.0;
+    double sigma2_hat = 0.0;
+    uint64_t cycles = 0;
+  };
+  std::vector<Slot_result> slots(retain ? jobs.size() : 0);
+  std::vector<Slot_stats> stats(jobs.size());
   std::vector<double> wall_service(jobs.size(), 0.0);
   double wall_seconds = 0.0;
   uint32_t workers_used = 0;
+
+  // Per-worker state persists across HARQ rounds: the backends (and the
+  // slot workspaces they grew on round 0), the summary-mode result scratch,
+  // and the pipelined mode's recycled Slot_front storage.
+  std::vector<std::unique_ptr<Backend>> whole_backends;
+  std::vector<std::unique_ptr<Backend>> front_backends, back_backends;
+  std::vector<Slot_result> scratch;
+  std::vector<std::unique_ptr<Front_pool>> front_pools;
 
   // Execute jobs[first..jobs.size()) that survived admission - the whole
   // initial stream on round 0, each round's retransmissions afterwards.
   //
   // Workers pull positions in the admitted stream from the cursor and write
   // results into their own pre-sized element - no locks, no shared mutable
-  // kernel state (each worker or worker-thread instantiates a private
-  // Backend; the lazily-built twiddle / QAM tables are call_once-guarded
-  // and immutable afterwards).  Scenarios come from the admission verdict's
-  // final config, so a degraded slot executes its re-planned layer count.
+  // kernel state (each worker or worker-thread owns a private Backend; the
+  // lazily-built twiddle / QAM tables are call_once-guarded and immutable
+  // afterwards).  Scenarios come from the admission verdict's final config,
+  // so a degraded slot executes its re-planned layer count.
   auto execute_batch = [&](uint64_t first) {
     // Compact execution stream: dropped jobs are shed before any backend
     // sees them - that is the point of admission control.
@@ -186,49 +231,77 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
     if (workers_used == 0) workers_used = workers;
     std::atomic<uint64_t> cursor{0};
 
+    // Grow the persistent per-worker state (never shrink: a later HARQ
+    // round with fewer jobs still reuses the backends round 0 built).
+    if (scratch.size() < workers) scratch.resize(workers);
+    if (pipelined) {
+      if (front_backends.size() < workers) front_backends.resize(workers);
+      if (back_backends.size() < workers) back_backends.resize(workers);
+      while (front_pools.size() < workers) {
+        front_pools.push_back(std::make_unique<Front_pool>());
+      }
+    } else if (whole_backends.size() < workers) {
+      whole_backends.resize(workers);
+    }
+    auto record = [&](uint64_t i, const Slot_result& r) {
+      stats[i] = {r.evm, r.ber, r.sigma2_hat, r.total_cycles()};
+    };
+
     // Plain mode: each worker runs whole slots, exactly the old sweep
     // engine.
-    auto work_whole = [&] {
-      const std::unique_ptr<Backend> backend =
-          make_backend(opt_.backend, opt_.intra);
+    auto work_whole = [&](uint32_t w) {
+      if (!whole_backends[w]) {
+        whole_backends[w] = make_backend(opt_.backend, opt_.intra);
+      }
+      Backend& backend = *whole_backends[w];
       for (;;) {
         const uint64_t p = cursor.fetch_add(1, std::memory_order_relaxed);
         if (p >= exec.size()) break;
         const uint64_t i = exec[p];
         const phy::Uplink_scenario sc(verdicts[i].cfg);
         const auto t0 = Clock::now();
-        slots[i] = pipeline.execute(sc, *backend);
+        Slot_result& dst = retain ? slots[i] : scratch[w];
+        pipeline.execute_into(sc, backend, dst);
         wall_service[i] = seconds_since(t0);
+        record(i, dst);
       }
     };
 
     // Pipelined mode: the worker becomes two threads with private backends.
     // The front thread owns scenario generation + FFT + beamforming of the
-    // next slot while the back thread finishes the previous one.
-    auto work_front = [&](Front_mailbox& box) {
-      const std::unique_ptr<Backend> backend =
-          make_backend(opt_.backend, opt_.intra);
+    // next slot while the back thread finishes the previous one; consumed
+    // Slot_fronts cycle back through the pair's Front_pool.
+    auto work_front = [&](uint32_t w, Front_mailbox& box) {
+      if (!front_backends[w]) {
+        front_backends[w] = make_backend(opt_.backend, opt_.intra);
+      }
+      Backend& backend = *front_backends[w];
       for (;;) {
         const uint64_t p = cursor.fetch_add(1, std::memory_order_relaxed);
         if (p >= exec.size()) break;
         const uint64_t i = exec[p];
         auto sc =
             std::make_unique<const phy::Uplink_scenario>(verdicts[i].cfg);
+        Slot_front front = front_pools[w]->take();
         const auto t0 = Clock::now();
-        Slot_front front = backend->run_front(pipeline, *sc);
+        backend.run_front_into(pipeline, *sc, front);
         const double dt = seconds_since(t0);
         box.push(Front_item{i, std::move(sc), std::move(front), dt});
       }
       box.close();
     };
-    auto work_back = [&](Front_mailbox& box) {
-      const std::unique_ptr<Backend> backend =
-          make_backend(opt_.backend, opt_.intra);
+    auto work_back = [&](uint32_t w, Front_mailbox& box) {
+      if (!back_backends[w]) {
+        back_backends[w] = make_backend(opt_.backend, opt_.intra);
+      }
+      Backend& backend = *back_backends[w];
       while (auto item = box.pop()) {
         const auto t0 = Clock::now();
-        slots[item->index] =
-            backend->run_back(pipeline, *item->sc, std::move(item->front));
+        Slot_result& dst = retain ? slots[item->index] : scratch[w];
+        backend.run_back_into(pipeline, *item->sc, item->front, dst);
         wall_service[item->index] = item->front_seconds + seconds_since(t0);
+        record(item->index, dst);
+        front_pools[w]->put(std::move(item->front));
       }
     };
 
@@ -239,18 +312,20 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
         std::vector<std::thread> pool;
         pool.reserve(2 * workers - 1);
         for (uint32_t w = 0; w < workers; ++w) {
-          pool.emplace_back([&, w] { work_front(boxes[w]); });
+          pool.emplace_back([&, w] { work_front(w, boxes[w]); });
           // The calling thread serves as worker 0's back half.
-          if (w > 0) pool.emplace_back([&, w] { work_back(boxes[w]); });
+          if (w > 0) pool.emplace_back([&, w] { work_back(w, boxes[w]); });
         }
-        work_back(boxes[0]);
+        work_back(0, boxes[0]);
         for (auto& t : pool) t.join();
       } else if (workers <= 1) {
-        work_whole();
+        work_whole(0);
       } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
-        for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work_whole);
+        for (uint32_t w = 0; w < workers; ++w) {
+          pool.emplace_back([&, w] { work_whole(w); });
+        }
         for (auto& t : pool) t.join();
       }
     }
@@ -283,6 +358,8 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
         uint32_t attempt = 0;
       };
       std::vector<Pending> next;
+      next.reserve(round_end - round_begin);
+      harq_log.reserve(harq_log.size() + (round_end - round_begin));
       for (uint64_t i = round_begin; i < round_end; ++i) {
         const uint64_t p = parent[i];
         Harq_combiner& blk = blocks[p];
@@ -350,6 +427,7 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
         }
       }
       slots.resize(jobs.size());
+      stats.resize(jobs.size());
       wall_service.resize(jobs.size(), 0.0);
       execute_batch(first);
       round_begin = first;
@@ -367,6 +445,17 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
   // (arrival, stream index) - the identity permutation when max_harq = 0,
   // where arrivals are already non-decreasing in the index.
   std::vector<std::vector<uint64_t>> shard_jobs(n_shards);
+  {
+    std::vector<uint64_t> per_shard(n_shards, 0);
+    for (uint64_t i = 0; i < n_jobs; ++i) {
+      if (verdicts[i].outcome != Admission_verdict::Outcome::dropped) {
+        ++per_shard[verdicts[i].shard];
+      }
+    }
+    for (uint32_t s = 0; s < n_shards; ++s) {
+      shard_jobs[s].reserve(per_shard[s]);
+    }
+  }
   for (uint64_t i = 0; i < n_jobs; ++i) {
     if (verdicts[i].outcome != Admission_verdict::Outcome::dropped) {
       shard_jobs[verdicts[i].shard].push_back(i);
@@ -386,7 +475,7 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
       const uint64_t i = idx[k];
       arrival[k] = jobs[i].arrival_s;
       service[k] = cycle_accurate
-                       ? static_cast<double>(slots[i].total_cycles()) /
+                       ? static_cast<double>(stats[i].cycles) /
                              (opt_.clock_ghz * 1e9)
                        : analytic_service_seconds(verdicts[i].cfg,
                                                   opt_.cluster, opt_.clock_ghz);
@@ -446,12 +535,12 @@ Schedule_result Slot_scheduler::run(const Slot_source& src) const {
       ++shard.degraded;
       ++out.degraded;
     }
-    const Slot_result& s = slots[i];
+    const Slot_stats& s = stats[i];
     group_evm2[job.group] += s.evm * s.evm;
     group_ber[job.group] += s.ber;
     group_sigma2[job.group] += s.sigma2_hat;
-    grp.cycles += s.total_cycles();
-    out.total_cycles += s.total_cycles();
+    grp.cycles += s.cycles;
+    out.total_cycles += s.cycles;
 
     const double latency = completion_s[i] - job.arrival_s;
     grp.latency.record(latency);

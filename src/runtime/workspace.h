@@ -1,0 +1,59 @@
+// Marshaling helpers for the fixed-point backends' workspace buffers.
+//
+// The sim and fixed host backends move data between the double-precision
+// scenario domain and Q1.15 kernel inputs through the same two primitives:
+// scale-then-saturate quantization and the inverse rescale.  The _into
+// forms write caller-owned storage grown with common::ws_grow, so the
+// per-slot marshaling reuses capacity after warm-up; the returning forms
+// are conveniences for one-shot call sites (tests, kernel binding paths
+// that copy anyway).  Both produce identical values element for element.
+#ifndef PUSCHPOOL_RUNTIME_WORKSPACE_H
+#define PUSCHPOOL_RUNTIME_WORKSPACE_H
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/complex16.h"
+#include "common/grid.h"
+
+namespace pp::runtime {
+
+inline void quantize_into(std::span<const std::complex<double>> x,
+                          double scale, std::vector<common::cq15>& q) {
+  common::ws_grow(q, x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    q[i] = common::to_cq15(x[i] * scale);
+  }
+}
+
+// Pointer-range form: dequantize `n` elements starting at `q` (used on
+// sub-ranges of batched kernel outputs without a temporary copy).
+inline void dequantize_into(const common::cq15* q, size_t n, double scale,
+                            std::vector<std::complex<double>>& x) {
+  common::ws_grow(x, n);
+  for (size_t i = 0; i < n; ++i) x[i] = common::to_cd(q[i]) / scale;
+}
+
+inline void dequantize_into(const std::vector<common::cq15>& q, double scale,
+                            std::vector<std::complex<double>>& x) {
+  dequantize_into(q.data(), q.size(), scale, x);
+}
+
+inline std::vector<common::cq15> quantize(
+    std::span<const std::complex<double>> x, double scale) {
+  std::vector<common::cq15> q;
+  quantize_into(x, scale, q);
+  return q;
+}
+
+inline std::vector<std::complex<double>> dequantize(
+    const std::vector<common::cq15>& q, double scale) {
+  std::vector<std::complex<double>> x;
+  dequantize_into(q, scale, x);
+  return x;
+}
+
+}  // namespace pp::runtime
+
+#endif  // PUSCHPOOL_RUNTIME_WORKSPACE_H
